@@ -1,0 +1,295 @@
+package plp
+
+import (
+	"strings"
+	"testing"
+
+	"plp/internal/engine"
+	"plp/internal/harness"
+	"plp/internal/sim"
+	"plp/internal/trace"
+)
+
+// Each benchmark regenerates one of the paper's tables or figures
+// (scaled down; use cmd/plptables -instr for full-length runs) and
+// reports its headline summary statistics as custom metrics.
+
+const benchInstr = 500_000
+
+func benchOpts() harness.Options {
+	return harness.Options{Instructions: benchInstr}
+}
+
+func reportSummary(b *testing.B, e *harness.Experiment, keys ...string) {
+	for _, k := range keys {
+		if v, ok := e.Summary[k]; ok {
+			// ReportMetric units must not contain whitespace.
+			b.ReportMetric(v, strings.ReplaceAll(k, " ", "-"))
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.TableV(benchOpts())
+	}
+	reportSummary(b, e, "avg sp PPKI", "avg o3 PPKI")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.Fig8(benchOpts())
+	}
+	reportSummary(b, e, "gmean sp", "gmean pipeline", "gmean unordered")
+}
+
+func BenchmarkFig8Full(b *testing.B) {
+	o := benchOpts()
+	o.FullMemory = true
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.Fig8(o)
+	}
+	reportSummary(b, e, "gmean sp", "gmean pipeline")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.Fig9(benchOpts())
+	}
+	reportSummary(b, e, "gmean mac40", "gmean mac80", "gmean idealMDC")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.Fig10(benchOpts())
+	}
+	reportSummary(b, e, "gmean o3", "gmean coalescing", "mean coalescing reduction")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.Fig11(benchOpts())
+	}
+	reportSummary(b, e, "avg PPKI epoch 4", "avg PPKI epoch 32", "avg PPKI epoch 256")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.Fig12(benchOpts())
+	}
+	reportSummary(b, e, "gmean epoch 4", "gmean epoch 32", "gmean epoch 256")
+}
+
+func BenchmarkWPQSweep(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.WPQSweep(benchOpts())
+	}
+	reportSummary(b, e, "gmean wpq 4", "gmean wpq 32", "gmean wpq 64")
+}
+
+func BenchmarkMetadataCacheSweep(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.MDCSweep(benchOpts())
+	}
+	reportSummary(b, e, "gmean 32KB", "gmean 256KB")
+}
+
+func BenchmarkLLCSweep(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.LLCSweep(benchOpts())
+	}
+	reportSummary(b, e, "gmean 1MB", "gmean 4MB")
+}
+
+func BenchmarkCoalescingReduction(b *testing.B) {
+	var e *harness.Experiment
+	for i := 0; i < b.N; i++ {
+		e = harness.CoalesceStats(benchOpts())
+	}
+	reportSummary(b, e, "mean reduction")
+}
+
+// Ablations: design choices DESIGN.md calls out.
+
+// BenchmarkAblationPipelineVsO3 compares in-order pipelining against
+// out-of-order updates on the most persist-intensive workload.
+func BenchmarkAblationPipelineVsO3(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	var pipe, o3 engine.Result
+	for i := 0; i < b.N; i++ {
+		pipe = engine.Run(engine.Config{Scheme: engine.SchemePipeline, Instructions: benchInstr}, p)
+		o3 = engine.Run(engine.Config{Scheme: engine.SchemeO3, Instructions: benchInstr}, p)
+	}
+	b.ReportMetric(float64(pipe.Cycles)/float64(o3.Cycles), "pipeline/o3-cycles")
+}
+
+// BenchmarkAblationMACPipelining measures what the OOO scheme loses if
+// the MAC units were as slow to accept work as a whole path takes
+// (approximated via MAC latency scaling).
+func BenchmarkAblationMACPipelining(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	var fast, slow engine.Result
+	for i := 0; i < b.N; i++ {
+		fast = engine.Run(engine.Config{Scheme: engine.SchemeO3, Instructions: benchInstr}.WithMACLatency(40), p)
+		slow = engine.Run(engine.Config{Scheme: engine.SchemeO3, Instructions: benchInstr}.WithMACLatency(80), p)
+	}
+	b.ReportMetric(float64(slow.Cycles)/float64(fast.Cycles), "mac80/mac40-cycles")
+}
+
+// BenchmarkAblationSGXCounterTree compares BMT root-only persistence
+// against an SGX-style counter tree that must persist the whole
+// leaf-to-root path (§IV-D).
+func BenchmarkAblationSGXCounterTree(b *testing.B) {
+	p, _ := trace.ProfileByName("sphinx3")
+	var sp, sgx engine.Result
+	for i := 0; i < b.N; i++ {
+		sp = engine.Run(engine.Config{Scheme: engine.SchemeSP, Instructions: benchInstr}, p)
+		sgx = engine.Run(engine.Config{Scheme: engine.SchemeSGXTree, Instructions: benchInstr}, p)
+	}
+	b.ReportMetric(float64(sgx.Cycles)/float64(sp.Cycles), "sgxtree/sp-cycles")
+}
+
+// BenchmarkAblationEpochSlots measures the benefit of tracking two
+// concurrent epochs (the paper's 2-entry ETT) over one.
+func BenchmarkAblationEpochSlots(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	var one, two engine.Result
+	for i := 0; i < b.N; i++ {
+		one = engine.Run(engine.Config{Scheme: engine.SchemeCoalescing, Instructions: benchInstr, ETTSlots: 1}, p)
+		two = engine.Run(engine.Config{Scheme: engine.SchemeCoalescing, Instructions: benchInstr, ETTSlots: 2}, p)
+	}
+	b.ReportMetric(float64(one.Cycles)/float64(two.Cycles), "1slot/2slot-cycles")
+}
+
+// BenchmarkFunctionalPersist measures the functional secure memory's
+// full persist path (AES + HMAC + tree hashing).
+func BenchmarkFunctionalPersist(b *testing.B) {
+	m, err := NewMemory(MemoryConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var d BlockData
+	for i := 0; i < b.N; i++ {
+		blk := Block(i % 4096)
+		d[0] = byte(i)
+		m.Write(blk, d)
+		m.Persist(blk)
+	}
+	b.SetBytes(64)
+}
+
+var benchSink sim.Cycle
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (instructions simulated per wall second appear as the metric).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p, _ := trace.ProfileByName("gcc")
+	for i := 0; i < b.N; i++ {
+		r := engine.Run(engine.Config{Scheme: engine.SchemeCoalescing, Instructions: 1_000_000}, p)
+		benchSink = r.Cycles
+	}
+}
+
+// BenchmarkAblationTreeDepth quantifies §IV-A2's scaling claim: the
+// pipelined scheme's advantage over sequential updates grows with the
+// BMT depth (i.e. with protected-memory size).
+func BenchmarkAblationTreeDepth(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	var s5, s12 float64
+	for i := 0; i < b.N; i++ {
+		for _, levels := range []int{5, 12} {
+			sp := engine.Run(engine.Config{Scheme: engine.SchemeSP, BMTLevels: levels, Instructions: benchInstr}, p)
+			pipe := engine.Run(engine.Config{Scheme: engine.SchemePipeline, BMTLevels: levels, Instructions: benchInstr}, p)
+			if levels == 5 {
+				s5 = float64(sp.Cycles) / float64(pipe.Cycles)
+			} else {
+				s12 = float64(sp.Cycles) / float64(pipe.Cycles)
+			}
+		}
+	}
+	b.ReportMetric(s5, "speedup-5-levels")
+	b.ReportMetric(s12, "speedup-12-levels")
+}
+
+// BenchmarkAblationChainedCoalescing compares the paper's paired
+// hardware policy against the idealized chained (union) policy.
+func BenchmarkAblationChainedCoalescing(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	var paired, chained engine.Result
+	for i := 0; i < b.N; i++ {
+		paired = engine.Run(engine.Config{Scheme: engine.SchemeCoalescing, Instructions: benchInstr}, p)
+		chained = engine.Run(engine.Config{Scheme: engine.SchemeCoalescing, ChainedCoalescing: true, Instructions: benchInstr}, p)
+	}
+	b.ReportMetric(paired.CoalescingReduction(), "paired-reduction")
+	b.ReportMetric(chained.CoalescingReduction(), "chained-reduction")
+}
+
+// BenchmarkRecoveryRebuild measures the functional cost of post-crash
+// integrity verification: rebuilding the BMT root from persisted
+// counters as the persisted footprint grows (the recovery-time concern
+// that Osiris/Anubis — cited in §II — attack).
+func BenchmarkRecoveryRebuild(b *testing.B) {
+	m := MustNewMemoryForBench()
+	var d BlockData
+	for i := 0; i < 4096; i++ {
+		d[0] = byte(i)
+		m.Write(Block(i*64), d) // one block per page: worst-case leaves
+		m.Persist(Block(i * 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Crash()
+		if !m.Recover().Clean() {
+			b.Fatal("recovery failed")
+		}
+	}
+}
+
+// MustNewMemoryForBench builds a default functional memory or panics.
+func MustNewMemoryForBench() *Memory {
+	m, err := NewMemory(MemoryConfig{Key: []byte("0123456789abcdef")})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BenchmarkAblationColocation quantifies the paper's prior-work
+// critique (§II): co-locating data, counter, and MAC in one line
+// (Swami/Liu et al.) barely helps strict persistency, because the BMT
+// update chain — which those works did not order — is the bottleneck.
+func BenchmarkAblationColocation(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	var sp, colo engine.Result
+	for i := 0; i < b.N; i++ {
+		sp = engine.Run(engine.Config{Scheme: engine.SchemeSP, Instructions: benchInstr}, p)
+		colo = engine.Run(engine.Config{Scheme: engine.SchemeColocated, Instructions: benchInstr}, p)
+	}
+	b.ReportMetric(float64(sp.Cycles)/float64(colo.Cycles), "sp/colocated-cycles")
+}
+
+// BenchmarkBurstyWorkload compares the coalescing scheme on a smooth
+// store stream versus a bursty two-phase stream with the same average
+// rates — bursts stress the WPQ and the ETT slots, the structures the
+// paper sizes in its sensitivity studies.
+func BenchmarkBurstyWorkload(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	var smooth, bursty engine.Result
+	for i := 0; i < b.N; i++ {
+		smooth = engine.Run(engine.Config{Scheme: engine.SchemeCoalescing, Instructions: benchInstr}, p)
+		src := trace.NewPhasedSource(p, trace.Burst(10_000, 40_000, 4))
+		bursty = engine.RunSource(engine.Config{Scheme: engine.SchemeCoalescing, Instructions: benchInstr},
+			p.Name, p.IPC, src)
+	}
+	b.ReportMetric(float64(bursty.Cycles)/float64(smooth.Cycles), "bursty/smooth-cycles")
+}

@@ -1,0 +1,88 @@
+// Command plpimage inspects and verifies secure-memory image files
+// (the persist domain serialized by Memory.SaveImage; see
+// examples/diskimage).
+//
+// Usage:
+//
+//	plpimage -verify nvm.img -key 0123456789abcdef
+//	plpimage -info nvm.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plp/internal/core"
+)
+
+func main() {
+	var (
+		info   = flag.String("info", "", "image file to describe (structure only)")
+		verify = flag.String("verify", "", "image file to verify under -key")
+		key    = flag.String("key", "", "16-byte processor key for -verify")
+		levels = flag.Int("levels", 9, "BMT levels the image's memory was configured with")
+	)
+	flag.Parse()
+
+	switch {
+	case *verify != "":
+		if len(*key) != 16 {
+			fatalf("-verify requires a 16-byte -key")
+		}
+		mem, err := core.New(core.Config{Key: []byte(*key), BMTLevels: *levels})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f, err := os.Open(*verify)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		rep, err := mem.LoadImage(f)
+		if err != nil {
+			fatalf("malformed image: %v", err)
+		}
+		fmt.Printf("image            %s\n", *verify)
+		fmt.Printf("blocks checked   %d\n", rep.BlocksChecked)
+		fmt.Printf("BMT root         %v\n", map[bool]string{true: "VERIFIED", false: "MISMATCH"}[rep.BMTOK])
+		fmt.Printf("MAC failures     %d\n", len(rep.MACFailures))
+		if rep.Clean() {
+			fmt.Println("verdict          clean — image is intact and fresh under this key")
+			return
+		}
+		fmt.Println("verdict          CORRUPT, TAMPERED, REPLAYED, or wrong key")
+		os.Exit(1)
+
+	case *info != "":
+		// Structure-only parse: use a throwaway key; verification
+		// outcomes are meaningless but counts and parse validity hold.
+		mem, err := core.New(core.Config{Key: []byte("0123456789abcdef"), BMTLevels: *levels})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f, err := os.Open(*info)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		rep, err := mem.LoadImage(f)
+		if err != nil {
+			fatalf("malformed image: %v", err)
+		}
+		st, _ := os.Stat(*info)
+		fmt.Printf("image            %s (%d bytes)\n", *info, st.Size())
+		fmt.Printf("persisted blocks %d\n", rep.BlocksChecked)
+		fmt.Printf("root register    %#x\n", mem.RootRegister())
+		fmt.Println("(use -verify with the real key to check integrity)")
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "plpimage: "+format+"\n", args...)
+	os.Exit(1)
+}

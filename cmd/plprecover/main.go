@@ -1,0 +1,62 @@
+// Command plprecover runs the crash-recovery checker: randomized
+// crash-point fuzzing of the functional secure memory, plus the
+// mechanical Table I / Table II validations. A correct build prints
+// all-clear; any invariant violation is listed.
+//
+// Usage:
+//
+//	plprecover                     # default campaign
+//	plprecover -seeds 20 -writes 256 -epoch 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plp/internal/recovery"
+)
+
+func main() {
+	var (
+		seeds  = flag.Int("seeds", 8, "number of independent fuzzing seeds")
+		writes = flag.Int("writes", 128, "persists per schedule")
+		epoch  = flag.Int("epoch", 8, "epoch size for the OOO-epoch campaign")
+		levels = flag.Int("levels", 5, "BMT levels of the functional memory")
+	)
+	flag.Parse()
+
+	failed := false
+	report := func(name string, rep recovery.Report) {
+		status := "ok"
+		if !rep.OK() {
+			status = fmt.Sprintf("FAILED (%d violations)", len(rep.Failures))
+			failed = true
+		}
+		fmt.Printf("%-28s crashes=%-5d persists=%-6d %s\n",
+			name, rep.Crashes, rep.Persists, status)
+		for _, f := range rep.Failures {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+
+	fmt.Printf("crash-recovery campaign: %d seeds x %d writes, %d-level BMT\n\n",
+		*seeds, *writes, *levels)
+
+	for s := 0; s < *seeds; s++ {
+		cfg := recovery.Config{Seed: uint64(s), Writes: *writes, Levels: *levels}
+		report(fmt.Sprintf("atomic-persists seed=%d", s), recovery.FuzzAtomicPersists(cfg))
+		report(fmt.Sprintf("epoch-ooo seed=%d", s), recovery.FuzzEpochOOO(cfg, *epoch))
+	}
+
+	fmt.Println()
+	report("table-I predictions", recovery.CheckTableI(recovery.Config{Seed: 1, Levels: *levels}))
+	report("tuple lattice (16 subsets)", recovery.CheckTupleLattice(recovery.Config{Seed: 1, Levels: *levels}))
+	report("root-order violation", recovery.CheckRootOrderViolation(recovery.Config{Seed: 1, Levels: *levels}))
+
+	if failed {
+		fmt.Println("\nRESULT: invariant violations found")
+		os.Exit(1)
+	}
+	fmt.Println("\nRESULT: all crash points recovered correctly; all predicted failure classes observed")
+}

@@ -1,0 +1,151 @@
+// Command plpsim runs one timing simulation: a benchmark profile under
+// one of the paper's persist schemes, printing the result and its
+// overhead against the secure_WB baseline.
+//
+// Usage:
+//
+//	plpsim -scheme coalescing -bench gamess -instr 10000000
+//	plpsim -scheme sp -bench gcc -full
+//	plpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plp/internal/engine"
+	"plp/internal/sim"
+	"plp/internal/trace"
+	"plp/internal/tracefile"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "coalescing", "persist scheme: secure_WB, unordered, sp, pipeline, o3, coalescing, sgxtree")
+		bench    = flag.String("bench", "gamess", "benchmark profile name")
+		instr    = flag.Uint64("instr", 10_000_000, "instructions to simulate")
+		full     = flag.Bool("full", false, "persist the stack segment too (full-memory protection)")
+		epoch    = flag.Int("epoch", 32, "epoch size in stores (epoch-persistency schemes)")
+		wpq      = flag.Int("wpq", 32, "write pending queue entries")
+		macLat   = flag.Int("maclat", 40, "MAC latency in processor cycles")
+		idealMDC = flag.Bool("ideal-mdc", false, "ideal metadata caches and free MACs")
+		warmup   = flag.Uint64("warmup", 0, "cache warmup instructions before the measured region")
+		readVer  = flag.Bool("read-verify", false, "model load-side verification traffic (ablation)")
+		traceIn  = flag.String("trace", "", "replay a recorded trace file instead of the synthetic generator")
+		custom   = flag.String("profile", "", "custom workload spec, e.g. name=kv,ipc=1.2,stores=80,stack=0.1,distinct=30,wb=5")
+		list     = flag.Bool("list", false, "list benchmark profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmark profiles (Table V calibration targets):")
+		for _, p := range trace.Profiles() {
+			fmt.Printf("  %-10s IPC=%.2f  storesPKI=%.2f  non-stack=%.2f  epoch-distinct=%.2f  writebacks=%.2f\n",
+				p.Name, p.IPC, p.Paper.SpFull, p.Paper.Sp, p.Paper.O3, p.Paper.WBFull)
+		}
+		return
+	}
+
+	var prof trace.Profile
+	if *custom != "" {
+		var err error
+		prof, err = trace.ParseProfileSpec(*custom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plpsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		var ok bool
+		prof, ok = trace.ProfileByName(*bench)
+		if !ok && *traceIn == "" {
+			fmt.Fprintf(os.Stderr, "plpsim: unknown benchmark %q (use -list)\n", *bench)
+			os.Exit(1)
+		}
+	}
+
+	cfg := engine.Config{
+		Scheme:           engine.Scheme(*scheme),
+		Instructions:     *instr,
+		FullMemory:       *full,
+		EpochSize:        *epoch,
+		WPQEntries:       *wpq,
+		IdealMDC:         *idealMDC,
+		Warmup:           *warmup,
+		ReadVerification: *readVer,
+	}.WithMACLatency(sim.Cycle(*macLat))
+
+	valid := false
+	for _, s := range append(engine.Schemes(), engine.SchemeSGXTree) {
+		if cfg.Scheme == s {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "plpsim: unknown scheme %q\n", *scheme)
+		os.Exit(1)
+	}
+
+	var base, res engine.Result
+	if *traceIn != "" {
+		tr := loadTrace(*traceIn)
+		base = runTrace(engine.Config{Scheme: engine.SchemeSecureWB,
+			Instructions: *instr, FullMemory: *full}, tr)
+		res = runTrace(cfg, tr)
+	} else {
+		base = engine.Run(engine.Config{Scheme: engine.SchemeSecureWB,
+			Instructions: *instr, FullMemory: *full}, prof)
+		res = engine.Run(cfg, prof)
+	}
+
+	fmt.Printf("benchmark        %s\n", res.Bench)
+	fmt.Printf("scheme           %s\n", res.Scheme)
+	fmt.Printf("instructions     %d\n", res.Instructions)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("IPC              %.4f\n", res.IPC)
+	fmt.Printf("persists         %d (%.2f per kilo-instruction)\n", res.Persists, res.PPKI)
+	if res.Epochs > 0 {
+		fmt.Printf("epochs           %d\n", res.Epochs)
+	}
+	fmt.Printf("BMT node updates %d", res.BMTNodeUpdates)
+	if res.BMTUpdatesNoCoal > 0 {
+		fmt.Printf(" (coalescing removed %.1f%%)", res.CoalescingReduction()*100)
+	}
+	fmt.Println()
+	fmt.Printf("metadata hits    ctr %.3f  mac %.3f  bmt %.3f\n",
+		res.CtrHitRate, res.MACHitRate, res.BMTHitRate)
+	fmt.Printf("NVM traffic      %d reads, %d writes\n", res.NVMReads, res.NVMWrites)
+	if res.PersistLatency.Count() > 0 {
+		fmt.Printf("persist latency  mean=%.0f p50<=%d p99<=%d max=%d cycles\n",
+			res.PersistLatency.Mean(), res.PersistLatency.Percentile(50),
+			res.PersistLatency.Percentile(99), res.PersistLatency.Max())
+	}
+	fmt.Printf("normalized time  %.3fx of secure_WB (baseline IPC %.4f)\n",
+		float64(res.Cycles)/float64(base.Cycles), base.IPC)
+}
+
+// loadTrace reads a recorded trace file.
+func loadTrace(path string) *tracefile.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plpsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := tracefile.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plpsim: %v\n", err)
+		os.Exit(1)
+	}
+	return tr
+}
+
+// runTrace replays tr under cfg.
+func runTrace(cfg engine.Config, tr *tracefile.Trace) engine.Result {
+	rep, err := tracefile.NewReplayer(tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plpsim: %v\n", err)
+		os.Exit(1)
+	}
+	return engine.RunSource(cfg, tr.Name, tr.IPC, rep)
+}

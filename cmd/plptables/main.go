@@ -1,0 +1,66 @@
+// Command plptables regenerates the paper's evaluation tables and
+// figures (Table V, Figs. 8-12, and the §VII sensitivity studies) from
+// the timing simulator, printing each as a text table with the paper's
+// reference numbers alongside.
+//
+// Usage:
+//
+//	plptables                      # every experiment, default length
+//	plptables -exp fig8 -full      # one experiment, full-memory mode
+//	plptables -instr 100000000     # paper-length runs (slow)
+//	plptables -benches gamess,gcc  # restrict the benchmark set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"plp/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: "+strings.Join(harness.Order(), ", ")+", or all")
+		instr   = flag.Uint64("instr", 2_000_000, "instructions per benchmark run (paper: 100M)")
+		benches = flag.String("benches", "", "comma-separated benchmark subset (default all 15)")
+		full    = flag.Bool("full", false, "full-memory protection (persist stack too)")
+		format  = flag.String("format", "text", "output format: text or md")
+		outPath = flag.String("o", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+
+	o := harness.Options{Instructions: *instr, FullMemory: *full}
+	if *benches != "" {
+		o.Benches = strings.Split(*benches, ",")
+	}
+
+	drivers := harness.All()
+	ids := harness.Order()
+	if *exp != "all" {
+		if _, ok := drivers[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "plptables: unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
+		ids = []string{*exp}
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plptables: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	for _, id := range ids {
+		e := drivers[id](o)
+		if *format == "md" {
+			fmt.Fprintln(out, e.Markdown())
+		} else {
+			fmt.Fprintln(out, e.String())
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// diskimage: actually-durable secure memory. The persist domain —
+// ciphertext, counters, MACs, and the root register — serializes to a
+// file and restores in a fresh process, undergoing the same
+// verification as crash recovery. The image never contains plaintext,
+// so a stolen or tampered image file is exactly as useless to an
+// attacker as the simulated NVM.
+//
+// Run with: go run ./examples/diskimage
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"plp"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "plp-image")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "nvm.img")
+	key := []byte("disk-image-key!!")
+
+	// "First process": write, persist, save the image, exit.
+	{
+		mem, err := plp.NewMemory(plp.MemoryConfig{Key: key})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var d plp.BlockData
+		copy(d[:], "state that must outlive the process")
+		mem.Write(plp.Block(7), d)
+		mem.Persist(plp.Block(7))
+
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mem.SaveImage(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		st, _ := os.Stat(path)
+		fmt.Printf("saved image: %s (%d bytes)\n", path, st.Size())
+	}
+
+	// The image holds no plaintext.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image contains plaintext: %v\n", bytes.Contains(raw, []byte("outlive")))
+
+	// "Second process": restore under the right key.
+	{
+		mem, err := plp.NewMemory(plp.MemoryConfig{Key: key})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := mem.LoadImage(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restore verification clean: %v\n", rep.Clean())
+		got, err := mem.Read(plp.Block(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered: %q\n", string(got[:35]))
+	}
+
+	// A thief with the image but the wrong key gets nothing usable.
+	{
+		mem, _ := plp.NewMemory(plp.MemoryConfig{Key: []byte("wrong-key-entire")})
+		f, _ := os.Open(path)
+		rep, err := mem.LoadImage(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restore under wrong key verifies: %v (MAC failures: %d)\n",
+			rep.Clean(), len(rep.MACFailures))
+	}
+}

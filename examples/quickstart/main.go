@@ -1,0 +1,74 @@
+// Quickstart: the functional secure persistent memory in five minutes.
+//
+// Demonstrates the core loop a crash-recoverable application lives by:
+// write volatile data, persist it (which atomically persists the whole
+// memory tuple — ciphertext, counter, MAC, and BMT root), lose power,
+// recover, and read verified plaintext back.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plp"
+)
+
+func main() {
+	mem, err := plp.NewMemory(plp.MemoryConfig{
+		Key: []byte("0123456789abcdef"), // AES-128 processor key
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Write a few blocks. Writes land in the volatile (on-chip) domain:
+	// nothing is durable yet.
+	var ledger plp.BlockData
+	copy(ledger[:], "account=42 balance=1000 txn=7")
+	mem.Write(plp.Block(0), ledger)
+
+	var journal plp.BlockData
+	copy(journal[:], "journal: begin txn=8 amount=250")
+	mem.Write(plp.Block(64), journal) // a different 4KB page
+
+	fmt.Printf("dirty blocks before persist: %d\n", mem.DirtyCount())
+
+	// Persist both. Each persist encrypts the block in counter mode,
+	// computes its stateful MAC, walks the Bonsai Merkle Tree leaf to
+	// root, and commits the complete tuple to the persist domain.
+	mem.Persist(plp.Block(0))
+	mem.Persist(plp.Block(64))
+	fmt.Printf("persists performed: %d, root register: %#x\n",
+		mem.Persists, mem.RootRegister())
+
+	// A third write that never persists — it will not survive.
+	var scratch plp.BlockData
+	copy(scratch[:], "ephemeral scratch data")
+	mem.Write(plp.Block(128), scratch)
+
+	// Power failure.
+	mem.Crash()
+	fmt.Println("crash: volatile domain lost")
+
+	// Recovery rebuilds the integrity tree from persisted counters,
+	// compares it against the persistent root register, and verifies
+	// every block's MAC.
+	rep := mem.Recover()
+	fmt.Printf("recovery: BMT ok=%v, blocks checked=%d, MAC failures=%d\n",
+		rep.BMTOK, rep.BlocksChecked, len(rep.MACFailures))
+	if !rep.Clean() {
+		log.Fatal("recovery failed — this should be impossible after atomic persists")
+	}
+
+	// Persisted data decrypts and verifies; unpersisted data is gone.
+	got, err := mem.Read(plp.Block(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered block 0: %q\n", string(got[:29]))
+
+	gone, _ := mem.Read(plp.Block(128))
+	fmt.Printf("unpersisted block 128 is zero after crash: %v\n", gone == plp.BlockData{})
+}

@@ -1,0 +1,62 @@
+// schemes: a quick tour of the timing simulator — run every persist
+// mechanism the paper evaluates on one workload and print the cost of
+// crash consistency, from the naive strict-persistency baseline to the
+// PLP-optimized epoch schemes.
+//
+// Run with: go run ./examples/schemes [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"plp"
+)
+
+func main() {
+	bench := "gamess"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	prof, ok := plp.BenchmarkByName(bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (try: gamess, gcc, milc, ...)", bench)
+	}
+
+	const instr = 5_000_000
+	base := plp.Simulate(plp.SimConfig{Scheme: plp.SecureWB, Instructions: instr}, prof)
+	fmt.Printf("workload %s: %d instructions, baseline (secure_WB) IPC %.3f\n\n",
+		prof.Name, instr, base.IPC)
+	fmt.Printf("%-11s %-12s %-10s %-8s %s\n", "scheme", "cycles", "normalized", "PPKI", "notes")
+
+	type row struct {
+		scheme plp.Scheme
+		notes  string
+	}
+	rows := []row{
+		{plp.SecureWB, "write-back baseline, NOT crash recoverable"},
+		{plp.Unordered, "write-through, root order unenforced: fast but UNSAFE (Table II)"},
+		{plp.SP, "strict persistency, sequential BMT updates"},
+		{plp.Pipeline, "PLP 1: pipelined BMT updates (PTT)"},
+		{plp.O3, "PLP 2: epoch persistency, OOO updates (ETT)"},
+		{plp.Coalescing, "PLP 2+3: OOO + LCA coalescing"},
+		{plp.SGXTree, "SGX-style counter tree: whole path persists (§IV-D)"},
+		{plp.Colocated, "prior work: co-located data+ctr+MAC, BMT still sequential (§II)"},
+	}
+	for _, r := range rows {
+		res := plp.Simulate(plp.SimConfig{Scheme: r.scheme, Instructions: instr}, prof)
+		norm := float64(res.Cycles) / float64(base.Cycles)
+		extra := ""
+		if r.scheme == plp.Coalescing {
+			extra = fmt.Sprintf(" [%.0f%% fewer BMT node updates]", res.CoalescingReduction()*100)
+		}
+		fmt.Printf("%-11s %-12d %-10.2f %-8.1f %s%s\n",
+			r.scheme, res.Cycles, norm, res.PPKI, r.notes, extra)
+	}
+
+	fmt.Println("\nThe paper's story in one table: enforcing Invariant 2 naively (sp)")
+	fmt.Println("is ruinous; pipelining recovers most of it under strict persistency;")
+	fmt.Println("epoch persistency with OOO + coalescing gets within ~20% of the")
+	fmt.Println("no-persistency baseline while remaining crash recoverable.")
+}

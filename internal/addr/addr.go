@@ -1,0 +1,131 @@
+// Package addr models the physical address space of the simulated
+// machine: 64-byte cache blocks, 4KB pages, and the coarse memory
+// regions (stack, heap, global) that determine whether a store must be
+// persisted under the paper's default "non-stack" protection mode.
+package addr
+
+import "fmt"
+
+const (
+	// BlockBytes is the cache block (and NVM access) granularity.
+	BlockBytes = 64
+	// BlockShift is log2(BlockBytes).
+	BlockShift = 6
+	// PageBytes is the encryption-page granularity; one split-counter
+	// block covers one page.
+	PageBytes = 4096
+	// PageShift is log2(PageBytes).
+	PageShift = 12
+	// BlocksPerPage is the number of cache blocks per encryption page.
+	BlocksPerPage = PageBytes / BlockBytes // 64
+)
+
+// Addr is a byte-granularity physical address.
+type Addr uint64
+
+// Block identifies a 64-byte cache block (address >> BlockShift).
+type Block uint64
+
+// Page identifies a 4KB encryption page (address >> PageShift).
+type Page uint64
+
+// BlockOf returns the block containing a.
+func BlockOf(a Addr) Block { return Block(a >> BlockShift) }
+
+// PageOf returns the page containing a.
+func PageOf(a Addr) Page { return Page(a >> PageShift) }
+
+// PageOfBlock returns the page containing block b.
+func PageOfBlock(b Block) Page { return Page(b >> (PageShift - BlockShift)) }
+
+// BlockIndexInPage returns b's index within its page, in [0, BlocksPerPage).
+func BlockIndexInPage(b Block) int {
+	return int(b & (BlocksPerPage - 1))
+}
+
+// Base returns the first byte address of block b.
+func (b Block) Base() Addr { return Addr(b) << BlockShift }
+
+// Base returns the first byte address of page p.
+func (p Page) Base() Addr { return Addr(p) << PageShift }
+
+// FirstBlock returns the first block of page p.
+func (p Page) FirstBlock() Block { return Block(p) << (PageShift - BlockShift) }
+
+// Region classifies an address into the coarse segments the paper
+// distinguishes: the stack (not persisted by default) versus the heap
+// and static/global data (persisted).
+type Region uint8
+
+const (
+	RegionHeap Region = iota
+	RegionGlobal
+	RegionStack
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionHeap:
+		return "heap"
+	case RegionGlobal:
+		return "global"
+	case RegionStack:
+		return "stack"
+	default:
+		return fmt.Sprintf("Region(%d)", uint8(r))
+	}
+}
+
+// Layout defines the simulated address map. Regions are disjoint,
+// page-aligned, and ordered global < heap < stack, mirroring a
+// conventional process layout compressed into the protected range.
+type Layout struct {
+	GlobalBase Addr
+	GlobalSize uint64
+	HeapBase   Addr
+	HeapSize   uint64
+	StackBase  Addr
+	StackSize  uint64
+}
+
+// DefaultLayout returns the layout used by all experiments: 64MB of
+// global data, 1GB of heap, and 8MB of stack. The protected-memory
+// BMT in the paper covers 8GB; the working sets of the synthetic
+// workloads fit comfortably inside these ranges.
+func DefaultLayout() Layout {
+	const mb = 1 << 20
+	return Layout{
+		GlobalBase: 0,
+		GlobalSize: 64 * mb,
+		HeapBase:   64 * mb,
+		HeapSize:   1024 * mb,
+		StackBase:  (64 + 1024) * mb,
+		StackSize:  8 * mb,
+	}
+}
+
+// RegionOf classifies a into one of the layout's regions. Addresses
+// beyond the stack top are classified as heap, which keeps synthetic
+// traces well-formed even if a generator overshoots.
+func (l Layout) RegionOf(a Addr) Region {
+	switch {
+	case uint64(a) < uint64(l.HeapBase):
+		return RegionGlobal
+	case uint64(a) < uint64(l.StackBase):
+		return RegionHeap
+	case uint64(a) < uint64(l.StackBase)+l.StackSize:
+		return RegionStack
+	default:
+		return RegionHeap
+	}
+}
+
+// Contains reports whether a falls inside the layout's total range.
+func (l Layout) Contains(a Addr) bool {
+	return uint64(a) < uint64(l.StackBase)+l.StackSize
+}
+
+// TotalBytes returns the size of the mapped range.
+func (l Layout) TotalBytes() uint64 {
+	return uint64(l.StackBase) + l.StackSize
+}

@@ -1,0 +1,111 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockPageArithmetic(t *testing.T) {
+	a := Addr(0x12345)
+	if BlockOf(a) != Block(0x12345>>6) {
+		t.Fatalf("BlockOf wrong: %v", BlockOf(a))
+	}
+	if PageOf(a) != Page(0x12345>>12) {
+		t.Fatalf("PageOf wrong: %v", PageOf(a))
+	}
+}
+
+func TestBlockBaseRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		b := BlockOf(a)
+		base := b.Base()
+		// base must be block-aligned and contain a
+		return uint64(base)%BlockBytes == 0 &&
+			uint64(base) <= uint64(a) &&
+			uint64(a) < uint64(base)+BlockBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageBlockConsistency(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		return PageOfBlock(BlockOf(a)) == PageOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockIndexInPage(t *testing.T) {
+	p := Page(5)
+	first := p.FirstBlock()
+	for i := 0; i < BlocksPerPage; i++ {
+		b := first + Block(i)
+		if BlockIndexInPage(b) != i {
+			t.Fatalf("block %d index = %d, want %d", b, BlockIndexInPage(b), i)
+		}
+		if PageOfBlock(b) != p {
+			t.Fatalf("block %d page = %d, want %d", b, PageOfBlock(b), p)
+		}
+	}
+}
+
+func TestBlocksPerPageConstant(t *testing.T) {
+	if BlocksPerPage != 64 {
+		t.Fatalf("BlocksPerPage = %d, want 64", BlocksPerPage)
+	}
+}
+
+func TestDefaultLayoutRegions(t *testing.T) {
+	l := DefaultLayout()
+	cases := []struct {
+		a    Addr
+		want Region
+	}{
+		{0, RegionGlobal},
+		{l.HeapBase - 1, RegionGlobal},
+		{l.HeapBase, RegionHeap},
+		{l.StackBase - 1, RegionHeap},
+		{l.StackBase, RegionStack},
+		{l.StackBase + Addr(l.StackSize) - 1, RegionStack},
+		{l.StackBase + Addr(l.StackSize), RegionHeap}, // overshoot → heap
+	}
+	for _, c := range cases {
+		if got := l.RegionOf(c.a); got != c.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestLayoutAlignment(t *testing.T) {
+	l := DefaultLayout()
+	for _, a := range []Addr{l.GlobalBase, l.HeapBase, l.StackBase} {
+		if uint64(a)%PageBytes != 0 {
+			t.Fatalf("region base %#x not page aligned", a)
+		}
+	}
+}
+
+func TestLayoutContains(t *testing.T) {
+	l := DefaultLayout()
+	if !l.Contains(0) || !l.Contains(l.StackBase) {
+		t.Fatal("Contains false for in-range address")
+	}
+	if l.Contains(Addr(l.TotalBytes())) {
+		t.Fatal("Contains true for out-of-range address")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionHeap.String() != "heap" || RegionStack.String() != "stack" ||
+		RegionGlobal.String() != "global" {
+		t.Fatal("Region.String mismatch")
+	}
+	if Region(99).String() == "" {
+		t.Fatal("unknown region should still format")
+	}
+}

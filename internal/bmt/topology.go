@@ -1,0 +1,194 @@
+// Package bmt implements the Bonsai Merkle Tree: the integrity tree
+// that covers the encryption counters of a secure NVMM. It provides
+// both the tree *topology* (node labeling, update paths, common
+// ancestors) used by the timing models' schedulers, and a *functional*
+// hashed tree used by the crash-recovery checker.
+//
+// Node labeling follows Gassend et al. (the scheme the paper adopts in
+// §V-C): the root has label 0, the children of node n are labeled
+// n*arity+1 .. n*arity+arity, and the parent of node n is (n-1)/arity.
+// Levels are 1-based from the root (root = level 1, leaves = level
+// Levels), matching the Lvl field of the paper's PTT/ETT.
+package bmt
+
+import "fmt"
+
+// Label identifies a BMT node.
+type Label uint64
+
+// Topology describes an arity^k complete tree.
+type Topology struct {
+	arity  int
+	levels int
+	// first[l] is the label of the leftmost node at 1-based level l+1;
+	// first[0] = 0 (root).
+	first []uint64
+	// count[l] is the number of nodes at 1-based level l+1.
+	count []uint64
+}
+
+// NewTopology builds a complete tree with the given number of levels
+// (>= 1) and arity (>= 2). The paper's default is 9 levels, arity 8.
+func NewTopology(levels, arity int) (*Topology, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("bmt: levels must be >= 1, got %d", levels)
+	}
+	if arity < 2 {
+		return nil, fmt.Errorf("bmt: arity must be >= 2, got %d", arity)
+	}
+	t := &Topology{arity: arity, levels: levels}
+	t.first = make([]uint64, levels)
+	t.count = make([]uint64, levels)
+	n := uint64(1)
+	firstLabel := uint64(0)
+	for l := 0; l < levels; l++ {
+		t.first[l] = firstLabel
+		t.count[l] = n
+		firstLabel += n
+		n *= uint64(arity)
+	}
+	return t, nil
+}
+
+// MustNewTopology is NewTopology but panics on error.
+func MustNewTopology(levels, arity int) *Topology {
+	t, err := NewTopology(levels, arity)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Arity returns the tree arity.
+func (t *Topology) Arity() int { return t.arity }
+
+// Levels returns the number of levels (root = level 1, leaves = level
+// Levels()).
+func (t *Topology) Levels() int { return t.levels }
+
+// Root returns the root label (always 0).
+func (t *Topology) Root() Label { return 0 }
+
+// Leaves returns the number of leaf nodes.
+func (t *Topology) Leaves() uint64 { return t.count[t.levels-1] }
+
+// Nodes returns the total number of nodes.
+func (t *Topology) Nodes() uint64 {
+	return t.first[t.levels-1] + t.count[t.levels-1]
+}
+
+// LeafLabel returns the label of leaf index i (0-based, left to right).
+func (t *Topology) LeafLabel(i uint64) Label {
+	if i >= t.Leaves() {
+		panic(fmt.Sprintf("bmt: leaf index %d out of range (%d leaves)", i, t.Leaves()))
+	}
+	return Label(t.first[t.levels-1] + i)
+}
+
+// LeafIndex is the inverse of LeafLabel.
+func (t *Topology) LeafIndex(l Label) uint64 {
+	if !t.IsLeaf(l) {
+		panic(fmt.Sprintf("bmt: label %d is not a leaf", l))
+	}
+	return uint64(l) - t.first[t.levels-1]
+}
+
+// Level returns the 1-based level of label l (1 = root).
+func (t *Topology) Level(l Label) int {
+	for lvl := 0; lvl < t.levels; lvl++ {
+		if uint64(l) < t.first[lvl]+t.count[lvl] {
+			return lvl + 1
+		}
+	}
+	panic(fmt.Sprintf("bmt: label %d out of range", l))
+}
+
+// Parent returns the parent of l; calling it on the root panics.
+func (t *Topology) Parent(l Label) Label {
+	if l == 0 {
+		panic("bmt: root has no parent")
+	}
+	return (l - 1) / Label(t.arity)
+}
+
+// Child returns the i-th child (0-based) of l.
+func (t *Topology) Child(l Label, i int) Label {
+	if i < 0 || i >= t.arity {
+		panic(fmt.Sprintf("bmt: child index %d out of range", i))
+	}
+	return l*Label(t.arity) + 1 + Label(i)
+}
+
+// ChildIndex returns which child of its parent l is (0-based).
+func (t *Topology) ChildIndex(l Label) int {
+	if l == 0 {
+		panic("bmt: root is no one's child")
+	}
+	return int((uint64(l) - 1) % uint64(t.arity))
+}
+
+// IsLeaf reports whether l is a leaf.
+func (t *Topology) IsLeaf(l Label) bool {
+	return uint64(l) >= t.first[t.levels-1] && uint64(l) < t.Nodes()
+}
+
+// IsRoot reports whether l is the root.
+func (t *Topology) IsRoot(l Label) bool { return l == 0 }
+
+// UpdatePath returns the labels from leaf (inclusive) to root
+// (inclusive): the "BMT update path" of Definition 1. Its length is
+// always Levels().
+func (t *Topology) UpdatePath(leaf Label) []Label {
+	if !t.IsLeaf(leaf) {
+		panic(fmt.Sprintf("bmt: UpdatePath of non-leaf %d", leaf))
+	}
+	path := make([]Label, 0, t.levels)
+	n := leaf
+	for {
+		path = append(path, n)
+		if n == 0 {
+			return path
+		}
+		n = t.Parent(n)
+	}
+}
+
+// AncestorAtLevel returns l's ancestor at the given 1-based level,
+// which must be <= Level(l).
+func (t *Topology) AncestorAtLevel(l Label, level int) Label {
+	cur := t.Level(l)
+	if level > cur || level < 1 {
+		panic(fmt.Sprintf("bmt: no ancestor of %d (level %d) at level %d", l, cur, level))
+	}
+	for cur > level {
+		l = t.Parent(l)
+		cur--
+	}
+	return l
+}
+
+// LCA returns the least (lowest-to-leaf) common ancestor of a and b
+// (Definition 2). LCA(x, x) == x.
+func (t *Topology) LCA(a, b Label) Label {
+	la, lb := t.Level(a), t.Level(b)
+	for la > lb {
+		a = t.Parent(a)
+		la--
+	}
+	for lb > la {
+		b = t.Parent(b)
+		lb--
+	}
+	for a != b {
+		a = t.Parent(a)
+		b = t.Parent(b)
+	}
+	return a
+}
+
+// PathsIntersectBelow reports whether the update paths of leaves a and
+// b share a common ancestor below the root — the WAW-hazard condition
+// discussed in §IV-B1.
+func (t *Topology) PathsIntersectBelow(a, b Label) bool {
+	return t.LCA(a, b) != 0
+}

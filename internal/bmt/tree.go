@@ -1,0 +1,198 @@
+package bmt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"plp/internal/addr"
+)
+
+// HashSize is the per-node hash size in bytes. Each MAC in the tree
+// takes a 64-byte input and outputs a 64-bit hash (Fig. 1).
+const HashSize = 8
+
+// Hash is a 64-bit truncated keyed hash of one tree node.
+type Hash uint64
+
+// Tree is a functional (actually-hashed) Bonsai Merkle Tree over the
+// counter blocks of the protected memory. It is sparse: untouched
+// subtrees are represented by per-level default hashes, so an 8-level,
+// 16M-leaf tree costs memory proportional only to the touched leaves.
+//
+// Tree is the *authoritative* tree content, as it would exist spread
+// across NVM (interior nodes) and the on-chip root register. The
+// separation between what has and has not persisted is handled by the
+// callers (internal/core's persist domain), not here.
+type Tree struct {
+	topo *Topology
+	key  [32]byte
+	// nodes holds non-default hashes only.
+	nodes map[Label]Hash
+	// defaults[l] is the hash of an untouched node at 0-based level l
+	// (defaults[levels-1] = hash of the zero counter block).
+	defaults []Hash
+
+	// HashOps counts node hash computations, for stats and for the
+	// coalescing-reduction experiment.
+	HashOps uint64
+}
+
+// NewTree builds an empty functional tree with the given topology and
+// MAC key.
+func NewTree(topo *Topology, key []byte) *Tree {
+	t := &Tree{
+		topo:  topo,
+		key:   sha256.Sum256(key),
+		nodes: make(map[Label]Hash),
+	}
+	t.defaults = make([]Hash, topo.Levels())
+	var zero [addr.BlockBytes]byte
+	t.defaults[topo.Levels()-1] = t.hashLeafData(zero)
+	for l := topo.Levels() - 2; l >= 0; l-- {
+		t.defaults[l] = t.hashChildren(func(int) Hash { return t.defaults[l+1] })
+	}
+	return t
+}
+
+// Topology returns the tree's topology.
+func (t *Tree) Topology() *Topology { return t.topo }
+
+// hashLeafData hashes a 64-byte counter block into a leaf hash.
+func (t *Tree) hashLeafData(data [addr.BlockBytes]byte) Hash {
+	t.HashOps++
+	h := sha256.New()
+	h.Write(t.key[:])
+	h.Write([]byte{0}) // domain separation: leaf
+	h.Write(data[:])
+	s := h.Sum(nil)
+	return Hash(binary.LittleEndian.Uint64(s[:8]))
+}
+
+// hashChildren hashes the arity child hashes (64 bytes total for arity
+// 8) into an interior node hash.
+func (t *Tree) hashChildren(child func(i int) Hash) Hash {
+	t.HashOps++
+	h := sha256.New()
+	h.Write(t.key[:])
+	h.Write([]byte{1}) // domain separation: interior
+	var buf [8]byte
+	for i := 0; i < t.topo.Arity(); i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(child(i)))
+		h.Write(buf[:])
+	}
+	s := h.Sum(nil)
+	return Hash(binary.LittleEndian.Uint64(s[:8]))
+}
+
+// NodeHash returns the current hash of node l (default if untouched).
+func (t *Tree) NodeHash(l Label) Hash {
+	if h, ok := t.nodes[l]; ok {
+		return h
+	}
+	return t.defaults[t.topo.Level(l)-1]
+}
+
+// SetNodeHash overwrites the stored hash of node l. This is the
+// primitive the crash-recovery checker uses to model partially
+// persisted (stale) interior nodes; normal updates go through SetLeaf.
+func (t *Tree) SetNodeHash(l Label, h Hash) { t.nodes[l] = h }
+
+// Root returns the current root hash.
+func (t *Tree) Root() Hash { return t.NodeHash(0) }
+
+// recomputeInterior recomputes node l from its children's stored
+// hashes.
+func (t *Tree) recomputeInterior(l Label) Hash {
+	return t.hashChildren(func(i int) Hash { return t.NodeHash(t.topo.Child(l, i)) })
+}
+
+// SetLeaf installs the counter-block contents for leaf index i and
+// updates every node on the leaf-to-root update path. It returns the
+// path labels (leaf first) for callers that track persist ordering.
+func (t *Tree) SetLeaf(i uint64, data [addr.BlockBytes]byte) []Label {
+	leaf := t.topo.LeafLabel(i)
+	t.nodes[leaf] = t.hashLeafData(data)
+	path := t.topo.UpdatePath(leaf)
+	for _, n := range path[1:] {
+		t.nodes[n] = t.recomputeInterior(n)
+	}
+	return path
+}
+
+// LeafHashOf computes (without storing) the leaf hash of a counter
+// block, for verification.
+func (t *Tree) LeafHashOf(data [addr.BlockBytes]byte) Hash {
+	return t.hashLeafData(data)
+}
+
+// VerifyLeaf checks that the stored tree is consistent with leaf i
+// holding data: the leaf hash matches and every interior node on the
+// path matches the recomputation from its children. It returns the
+// first inconsistent label, or ok=true.
+func (t *Tree) VerifyLeaf(i uint64, data [addr.BlockBytes]byte) (bad Label, ok bool) {
+	leaf := t.topo.LeafLabel(i)
+	if t.NodeHash(leaf) != t.hashLeafData(data) {
+		return leaf, false
+	}
+	path := t.topo.UpdatePath(leaf)
+	for _, n := range path[1:] {
+		if t.NodeHash(n) != t.recomputeInterior(n) {
+			return n, false
+		}
+	}
+	return 0, true
+}
+
+// RootFromLeaves computes, from scratch, the root hash implied by the
+// given leaf contents (leaf index → counter block bytes), with all
+// other leaves default. This is what a crash-recovery procedure does:
+// rebuild the tree from the counters found in NVM and compare against
+// the persisted root (§III). The receiver's stored nodes are not
+// consulted or modified (HashOps still accrues).
+func (t *Tree) RootFromLeaves(leaves map[uint64][addr.BlockBytes]byte) Hash {
+	// Hash the supplied leaves, then fold upward level by level.
+	cur := make(map[Label]Hash, len(leaves))
+	for i, data := range leaves {
+		cur[t.topo.LeafLabel(i)] = t.hashLeafData(data)
+	}
+	for lvl := t.topo.Levels(); lvl > 1; lvl-- {
+		next := make(map[Label]Hash)
+		parents := make(map[Label]bool)
+		for l := range cur {
+			parents[t.topo.Parent(l)] = true
+		}
+		for p := range parents {
+			next[p] = t.hashChildren(func(i int) Hash {
+				c := t.topo.Child(p, i)
+				if h, ok := cur[c]; ok {
+					return h
+				}
+				return t.defaults[lvl-1]
+			})
+		}
+		cur = next
+	}
+	if h, ok := cur[0]; ok {
+		return h
+	}
+	return t.defaults[0]
+}
+
+// Clone deep-copies the tree (stored nodes and stats); used to
+// snapshot the persistent NVM image for crash simulation.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		topo:     t.topo,
+		key:      t.key,
+		nodes:    make(map[Label]Hash, len(t.nodes)),
+		defaults: t.defaults,
+		HashOps:  t.HashOps,
+	}
+	for k, v := range t.nodes {
+		c.nodes[k] = v
+	}
+	return c
+}
+
+// TouchedNodes returns the number of non-default stored nodes.
+func (t *Tree) TouchedNodes() int { return len(t.nodes) }

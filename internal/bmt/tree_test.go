@@ -1,0 +1,239 @@
+package bmt
+
+import (
+	"testing"
+
+	"plp/internal/addr"
+	"plp/internal/xrand"
+)
+
+var treeKey = []byte("bmt-test-key")
+
+func block(seed uint64) [addr.BlockBytes]byte {
+	var b [addr.BlockBytes]byte
+	xrand.New(seed).Fill(b[:])
+	return b
+}
+
+func newTestTree() *Tree {
+	return NewTree(MustNewTopology(4, 8), treeKey) // 512 leaves
+}
+
+func TestEmptyTreeRootIsDefault(t *testing.T) {
+	a := newTestTree()
+	b := newTestTree()
+	if a.Root() != b.Root() {
+		t.Fatal("empty trees differ")
+	}
+	if a.TouchedNodes() != 0 {
+		t.Fatal("empty tree has touched nodes")
+	}
+}
+
+func TestSetLeafChangesRoot(t *testing.T) {
+	tr := newTestTree()
+	r0 := tr.Root()
+	path := tr.SetLeaf(5, block(1))
+	if tr.Root() == r0 {
+		t.Fatal("root unchanged after SetLeaf")
+	}
+	if len(path) != 4 || path[3] != 0 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestSetLeafVerifies(t *testing.T) {
+	tr := newTestTree()
+	tr.SetLeaf(5, block(1))
+	tr.SetLeaf(200, block(2))
+	if bad, ok := tr.VerifyLeaf(5, block(1)); !ok {
+		t.Fatalf("verification failed at %d", bad)
+	}
+	if bad, ok := tr.VerifyLeaf(200, block(2)); !ok {
+		t.Fatalf("verification failed at %d", bad)
+	}
+	// Untouched leaf verifies against the zero block.
+	if _, ok := tr.VerifyLeaf(9, [addr.BlockBytes]byte{}); !ok {
+		t.Fatal("default leaf should verify against zero block")
+	}
+}
+
+func TestVerifyDetectsWrongData(t *testing.T) {
+	tr := newTestTree()
+	tr.SetLeaf(5, block(1))
+	if _, ok := tr.VerifyLeaf(5, block(2)); ok {
+		t.Fatal("wrong leaf data accepted")
+	}
+}
+
+func TestVerifyDetectsTamperedInterior(t *testing.T) {
+	tr := newTestTree()
+	tr.SetLeaf(5, block(1))
+	leaf := tr.topo.LeafLabel(5)
+	mid := tr.topo.Parent(tr.topo.Parent(leaf))
+	tr.SetNodeHash(mid, tr.NodeHash(mid)^1)
+	bad, ok := tr.VerifyLeaf(5, block(1))
+	if ok {
+		t.Fatal("tampered interior accepted")
+	}
+	if bad != mid {
+		t.Fatalf("first bad node = %d, want %d", bad, mid)
+	}
+}
+
+func TestOrderIndependenceOfFinalRoot(t *testing.T) {
+	// §IV-B1's WAW argument: the final LCA (and root) value does not
+	// depend on which persist updates the common ancestors first.
+	a := newTestTree()
+	b := newTestTree()
+	a.SetLeaf(0, block(1))
+	a.SetLeaf(1, block(2))
+	b.SetLeaf(1, block(2))
+	b.SetLeaf(0, block(1))
+	if a.Root() != b.Root() {
+		t.Fatal("final root depends on update order")
+	}
+}
+
+func TestRootFromLeavesMatchesIncremental(t *testing.T) {
+	tr := newTestTree()
+	leaves := map[uint64][addr.BlockBytes]byte{
+		0:   block(1),
+		1:   block(2),
+		63:  block(3),
+		511: block(4),
+	}
+	for i, d := range leaves {
+		tr.SetLeaf(i, d)
+	}
+	checker := newTestTree()
+	if got := checker.RootFromLeaves(leaves); got != tr.Root() {
+		t.Fatalf("RootFromLeaves = %x, incremental root = %x", got, tr.Root())
+	}
+}
+
+func TestRootFromLeavesEmpty(t *testing.T) {
+	tr := newTestTree()
+	if tr.RootFromLeaves(nil) != tr.Root() {
+		t.Fatal("empty RootFromLeaves != default root")
+	}
+}
+
+func TestRootFromLeavesDetectsMissingLeaf(t *testing.T) {
+	// If a persisted root covers leaf 5's new value but recovery finds
+	// the old (zero) counter block, roots must mismatch — this is the
+	// BMT verification failure of Table I row 1.
+	tr := newTestTree()
+	tr.SetLeaf(5, block(1))
+	rebuilt := newTestTree().RootFromLeaves(map[uint64][addr.BlockBytes]byte{})
+	if rebuilt == tr.Root() {
+		t.Fatal("missing leaf not detected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := newTestTree()
+	tr.SetLeaf(5, block(1))
+	snap := tr.Clone()
+	root := snap.Root()
+	tr.SetLeaf(6, block(2))
+	if snap.Root() != root {
+		t.Fatal("clone mutated by original")
+	}
+	if tr.Root() == root {
+		t.Fatal("original root should have moved")
+	}
+}
+
+func TestDifferentKeysDifferentRoots(t *testing.T) {
+	a := NewTree(MustNewTopology(4, 8), []byte("k1"))
+	b := NewTree(MustNewTopology(4, 8), []byte("k2"))
+	a.SetLeaf(0, block(1))
+	b.SetLeaf(0, block(1))
+	if a.Root() == b.Root() {
+		t.Fatal("keyed hash ignored key")
+	}
+}
+
+func TestHashOpsCounting(t *testing.T) {
+	tr := newTestTree()
+	before := tr.HashOps
+	tr.SetLeaf(0, block(1))
+	// One leaf hash + 3 interior recomputations.
+	if got := tr.HashOps - before; got != 4 {
+		t.Fatalf("HashOps delta = %d, want 4", got)
+	}
+}
+
+func TestSparseMemoryFootprint(t *testing.T) {
+	// A 9-level tree has 2^24 leaves; touching one leaf must allocate
+	// only the 9 path nodes.
+	tr := NewTree(MustNewTopology(9, 8), treeKey)
+	tr.SetLeaf(1<<20, block(1))
+	if tr.TouchedNodes() != 9 {
+		t.Fatalf("touched = %d, want 9", tr.TouchedNodes())
+	}
+}
+
+func TestLeafHashOfMatchesStored(t *testing.T) {
+	tr := newTestTree()
+	d := block(9)
+	tr.SetLeaf(3, d)
+	if tr.NodeHash(tr.topo.LeafLabel(3)) != tr.LeafHashOf(d) {
+		t.Fatal("LeafHashOf inconsistent with stored leaf hash")
+	}
+}
+
+func BenchmarkSetLeaf(b *testing.B) {
+	tr := NewTree(MustNewTopology(9, 8), treeKey)
+	d := block(1)
+	for i := 0; i < b.N; i++ {
+		tr.SetLeaf(uint64(i)%4096, d)
+	}
+}
+
+func BenchmarkRootFromLeaves(b *testing.B) {
+	leaves := map[uint64][addr.BlockBytes]byte{}
+	for i := uint64(0); i < 256; i++ {
+		leaves[i*7] = block(i)
+	}
+	tr := NewTree(MustNewTopology(9, 8), treeKey)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.RootFromLeaves(leaves)
+	}
+}
+
+func TestPropertyRootFromLeavesMatchesIncremental(t *testing.T) {
+	// For random leaf sets and contents, the from-scratch rebuild must
+	// equal the incrementally maintained root.
+	r := xrand.New(123)
+	for trial := 0; trial < 25; trial++ {
+		tr := newTestTree()
+		leaves := map[uint64][addr.BlockBytes]byte{}
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			idx := uint64(r.Intn(512))
+			d := block(r.Uint64())
+			leaves[idx] = d
+			tr.SetLeaf(idx, d)
+		}
+		if got := newTestTree().RootFromLeaves(leaves); got != tr.Root() {
+			t.Fatalf("trial %d: rebuild %x != incremental %x (n=%d)", trial, got, tr.Root(), n)
+		}
+	}
+}
+
+func TestPropertyAnyLeafChangeMovesRoot(t *testing.T) {
+	r := xrand.New(321)
+	for trial := 0; trial < 25; trial++ {
+		tr := newTestTree()
+		idx := uint64(r.Intn(512))
+		tr.SetLeaf(idx, block(r.Uint64()))
+		before := tr.Root()
+		tr.SetLeaf(idx, block(r.Uint64()|1<<63)) // different content
+		if tr.Root() == before {
+			t.Fatalf("trial %d: root unchanged after leaf %d rewrite", trial, idx)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package cache implements a set-associative cache with true-LRU
+// replacement, supporting both write-back and write-through policies.
+// It is keyed by abstract 64-bit line identifiers (data block numbers,
+// counter-block numbers, MAC-block numbers, or BMT node labels), so the
+// same structure serves as L1/L2/LLC and as the three discrete metadata
+// caches (counter cache, MAC cache, BMT cache) the paper assumes.
+//
+// The cache is a tag store only — payloads live with the functional
+// models — and is deliberately single-threaded, matching the
+// discrete-event simulator that drives it.
+package cache
+
+import "fmt"
+
+// Policy selects the write policy.
+type Policy uint8
+
+const (
+	// WriteBack marks lines dirty on write and emits them on eviction.
+	WriteBack Policy = iota
+	// WriteThrough never holds dirty lines; every write also propagates
+	// to the next level (the caller performs the propagation).
+	WriteThrough
+)
+
+// Line is an abstract cache line identifier.
+type Line uint64
+
+// line is one way of one set.
+type way struct {
+	tag   Line
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Stats aggregates cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions
+	Evictions  uint64 // total evictions (clean + dirty)
+	Writes     uint64
+	Reads      uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	tot := s.Hits + s.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(tot)
+}
+
+// Cache is a set-associative tag store.
+type Cache struct {
+	name     string
+	sets     int
+	waysPer  int
+	policy   Policy
+	lruClock uint64
+	data     []way // sets*waysPer, row-major
+
+	// OnWriteback, if set, is invoked with each dirty line as it is
+	// evicted (write-back policy only).
+	OnWriteback func(Line)
+
+	Stats Stats
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	Name      string
+	SizeBytes int // total capacity
+	LineBytes int // line size (64 for all caches in the paper)
+	Ways      int
+	Policy    Policy
+}
+
+// New builds a cache. SizeBytes must be a multiple of LineBytes*Ways,
+// and the resulting set count must be a power of two (true for every
+// configuration in the paper's Table III).
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: non-positive geometry", cfg.Name)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines*cfg.LineBytes != cfg.SizeBytes {
+		return nil, fmt.Errorf("cache %s: size %d not a multiple of line %d", cfg.Name, cfg.SizeBytes, cfg.LineBytes)
+	}
+	sets := lines / cfg.Ways
+	if sets*cfg.Ways != lines {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", cfg.Name, sets)
+	}
+	return &Cache{
+		name:    cfg.Name,
+		sets:    sets,
+		waysPer: cfg.Ways,
+		policy:  cfg.Policy,
+		data:    make([]way, sets*cfg.Ways),
+	}, nil
+}
+
+// MustNew is New but panics on configuration error; for fixed,
+// test-validated geometries.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the configured cache name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.waysPer }
+
+// Capacity returns the number of lines the cache can hold.
+func (c *Cache) Capacity() int { return c.sets * c.waysPer }
+
+func (c *Cache) setOf(l Line) int { return int(uint64(l) & uint64(c.sets-1)) }
+
+func (c *Cache) find(l Line) *way {
+	base := c.setOf(l) * c.waysPer
+	for i := 0; i < c.waysPer; i++ {
+		w := &c.data[base+i]
+		if w.valid && w.tag == l {
+			return w
+		}
+	}
+	return nil
+}
+
+// victim returns the way to fill in l's set: an invalid way if any,
+// else the LRU way.
+func (c *Cache) victim(l Line) *way {
+	base := c.setOf(l) * c.waysPer
+	var v *way
+	for i := 0; i < c.waysPer; i++ {
+		w := &c.data[base+i]
+		if !w.valid {
+			return w
+		}
+		if v == nil || w.lru < v.lru {
+			v = w
+		}
+	}
+	return v
+}
+
+func (c *Cache) touch(w *way) {
+	c.lruClock++
+	w.lru = c.lruClock
+}
+
+// Contains reports whether l is present, without updating LRU or stats.
+func (c *Cache) Contains(l Line) bool { return c.find(l) != nil }
+
+// Dirty reports whether l is present and dirty.
+func (c *Cache) Dirty(l Line) bool {
+	w := c.find(l)
+	return w != nil && w.dirty
+}
+
+// Access performs a read (write=false) or write (write=true) of line l,
+// filling on miss. It returns hit=true if the line was present.
+// Any dirty line displaced by the fill is delivered to OnWriteback.
+func (c *Cache) Access(l Line, write bool) (hit bool) {
+	if write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+	}
+	if w := c.find(l); w != nil {
+		c.Stats.Hits++
+		c.touch(w)
+		if write && c.policy == WriteBack {
+			w.dirty = true
+		}
+		return true
+	}
+	c.Stats.Misses++
+	c.fill(l, write)
+	return false
+}
+
+// fill inserts l, evicting as needed.
+func (c *Cache) fill(l Line, write bool) {
+	v := c.victim(l)
+	if v.valid {
+		c.Stats.Evictions++
+		if v.dirty {
+			c.Stats.Writebacks++
+			if c.OnWriteback != nil {
+				c.OnWriteback(v.tag)
+			}
+		}
+	}
+	v.valid = true
+	v.tag = l
+	v.dirty = write && c.policy == WriteBack
+	c.touch(v)
+}
+
+// Insert fills l without counting an access (e.g. prefetch or fill
+// from a verification path).
+func (c *Cache) Insert(l Line) {
+	if w := c.find(l); w != nil {
+		c.touch(w)
+		return
+	}
+	c.fill(l, false)
+}
+
+// WritebackFill receives a dirty line evicted from the level above in
+// a cache hierarchy: the line becomes (or stays) resident here and is
+// marked dirty, without counting as a demand access. Displaced dirty
+// victims flow to OnWriteback as usual.
+func (c *Cache) WritebackFill(l Line) {
+	if c.policy != WriteBack {
+		// A write-through level propagates immediately; the caller's
+		// OnWriteback wiring handles the next level.
+		if c.OnWriteback != nil {
+			c.OnWriteback(l)
+		}
+		return
+	}
+	if w := c.find(l); w != nil {
+		c.touch(w)
+		w.dirty = true
+		return
+	}
+	c.fill(l, true)
+}
+
+// CleanLine clears l's dirty bit if present (e.g. after an explicit
+// flush persisted it).
+func (c *Cache) CleanLine(l Line) {
+	if w := c.find(l); w != nil {
+		w.dirty = false
+	}
+}
+
+// Invalidate removes l, returning whether it was present and dirty.
+// The dirty line is NOT delivered to OnWriteback; the caller decides.
+func (c *Cache) Invalidate(l Line) (wasDirty bool) {
+	if w := c.find(l); w != nil {
+		wasDirty = w.dirty
+		w.valid = false
+		w.dirty = false
+	}
+	return wasDirty
+}
+
+// FlushAll evicts every line, delivering dirty ones to OnWriteback.
+// Used to drain write-back caches at epoch or simulation end.
+func (c *Cache) FlushAll() {
+	for i := range c.data {
+		w := &c.data[i]
+		if w.valid {
+			c.Stats.Evictions++
+			if w.dirty {
+				c.Stats.Writebacks++
+				if c.OnWriteback != nil {
+					c.OnWriteback(w.tag)
+				}
+			}
+			w.valid = false
+			w.dirty = false
+		}
+	}
+}
+
+// DirtyLines returns all dirty lines currently resident (in no
+// particular order). Used by crash simulation: these are exactly the
+// updates that will be lost.
+func (c *Cache) DirtyLines() []Line {
+	var out []Line
+	for i := range c.data {
+		if c.data[i].valid && c.data[i].dirty {
+			out = append(out, c.data[i].tag)
+		}
+	}
+	return out
+}
+
+// ResidentLines returns all valid lines (for tests and debugging).
+func (c *Cache) ResidentLines() []Line {
+	var out []Line
+	for i := range c.data {
+		if c.data[i].valid {
+			out = append(out, c.data[i].tag)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"plp/internal/addr"
+	"plp/internal/ctr"
+	"plp/internal/mac"
+)
+
+// Attack-simulation hooks: the threat model (§II) grants the adversary
+// full read/write access to everything off-chip — the NVM image and
+// the memory bus — but not to on-chip state. These methods mutate the
+// persist domain the way an active attacker would; the library's
+// verification machinery is expected to detect every one of them.
+
+// TamperCiphertext flips bits of blk's NVM ciphertext (an active data
+// tampering attack). It reports whether the block existed.
+func (m *Memory) TamperCiphertext(blk addr.Block, xor byte) bool {
+	ct, ok := m.nvm.cipher[blk]
+	if !ok {
+		return false
+	}
+	ct[0] ^= xor
+	m.nvm.cipher[blk] = ct
+	return true
+}
+
+// SpliceBlocks swaps the NVM ciphertexts (and MACs) of two blocks — a
+// splicing attack relocating valid data to a different address.
+func (m *Memory) SpliceBlocks(a, b addr.Block) error {
+	ca, okA := m.nvm.cipher[a]
+	cb, okB := m.nvm.cipher[b]
+	if !okA || !okB {
+		return fmt.Errorf("core: splice requires both blocks persisted")
+	}
+	m.nvm.cipher[a], m.nvm.cipher[b] = cb, ca
+	ta, tb := m.nvm.macs.Get(a), m.nvm.macs.Get(b)
+	m.nvm.macs.Set(a, tb)
+	m.nvm.macs.Set(b, ta)
+	return nil
+}
+
+// Snapshotter captures a block's full off-chip state (ciphertext, MAC,
+// counter block) for a later replay attack.
+type Snapshotter struct {
+	blk      addr.Block
+	cipher   BlockData
+	tag      uint64
+	ctrBlock [64]byte
+	valid    bool
+}
+
+// SnapshotBlock records blk's current off-chip state.
+func (m *Memory) SnapshotBlock(blk addr.Block) Snapshotter {
+	ct, ok := m.nvm.cipher[blk]
+	if !ok {
+		return Snapshotter{}
+	}
+	pg := addr.PageOfBlock(blk)
+	var enc [64]byte
+	if cb, found := m.nvm.ctrs.Peek(pg); found {
+		enc = cb.Encode()
+	}
+	return Snapshotter{
+		blk:      blk,
+		cipher:   ct,
+		tag:      uint64(m.nvm.macs.Get(blk)),
+		ctrBlock: enc,
+		valid:    true,
+	}
+}
+
+// Replay installs a previously snapshotted (stale but once-valid)
+// off-chip state for the block — the classic counter replay attack
+// that the BMT exists to defeat. It reports whether a snapshot was
+// installed.
+func (m *Memory) Replay(s Snapshotter) bool {
+	if !s.valid {
+		return false
+	}
+	m.nvm.cipher[s.blk] = s.cipher
+	m.nvm.macs.Set(s.blk, mac.Tag(s.tag))
+	pg := addr.PageOfBlock(s.blk)
+	*m.nvm.ctrs.BlockFor(pg) = ctr.DecodeBlock(s.ctrBlock)
+	return true
+}

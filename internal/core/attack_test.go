@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"plp/internal/addr"
+)
+
+func TestTamperCiphertextDetected(t *testing.T) {
+	m := testMem(t)
+	d := data(1)
+	m.Write(1, d)
+	m.Persist(1)
+	if !m.TamperCiphertext(1, 0x40) {
+		t.Fatal("tamper reported missing block")
+	}
+	if _, err := m.Read(1); err == nil {
+		t.Fatal("tampered ciphertext read without MAC failure")
+	}
+	m.Crash()
+	rep := m.Recover()
+	if len(rep.MACFailures) == 0 {
+		t.Fatal("recovery missed the tamper")
+	}
+}
+
+func TestTamperMissingBlock(t *testing.T) {
+	m := testMem(t)
+	if m.TamperCiphertext(99, 1) {
+		t.Fatal("tamper of unpersisted block reported success")
+	}
+}
+
+func TestSpliceDetected(t *testing.T) {
+	m := testMem(t)
+	a, b := addr.Block(1), addr.Block(2)
+	m.Write(a, data(10))
+	m.Persist(a)
+	m.Write(b, data(11))
+	m.Persist(b)
+	if err := m.SpliceBlocks(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Both spliced blocks must fail MAC verification: address is a MAC
+	// input, so relocated data is rejected.
+	if _, err := m.Read(a); err == nil {
+		t.Fatal("spliced block a accepted")
+	}
+	if _, err := m.Read(b); err == nil {
+		t.Fatal("spliced block b accepted")
+	}
+}
+
+func TestSpliceRequiresBothBlocks(t *testing.T) {
+	m := testMem(t)
+	m.Write(1, data(1))
+	m.Persist(1)
+	if err := m.SpliceBlocks(1, 50); err == nil {
+		t.Fatal("splice with missing block should error")
+	}
+}
+
+func TestReplayDetectedByBMT(t *testing.T) {
+	// The replay attack the BMT exists to defeat: record a complete,
+	// once-valid off-chip state (ciphertext + MAC + counter block),
+	// then reinstall it after newer data persisted. The stale state is
+	// internally consistent — MAC verifies — so only the integrity
+	// tree root catches it.
+	m := testMem(t)
+	old := data(20)
+	m.Write(3, old)
+	m.Persist(3)
+	snap := m.SnapshotBlock(3)
+
+	m.Write(3, data(21))
+	m.Persist(3)
+
+	if !m.Replay(snap) {
+		t.Fatal("replay failed to install")
+	}
+	// Per-block MAC verification alone accepts the stale state...
+	got, err := m.Read(3)
+	if err != nil {
+		t.Fatalf("replayed state should be MAC-consistent, got %v", err)
+	}
+	if got != old {
+		t.Fatal("replay did not restore the old plaintext")
+	}
+	// ...but recovery's root verification must reject it.
+	m.Crash()
+	rep := m.Recover()
+	if rep.BMTOK {
+		t.Fatal("BMT failed to detect the replay attack")
+	}
+}
+
+func TestReplayInvalidSnapshot(t *testing.T) {
+	m := testMem(t)
+	if m.Replay(m.SnapshotBlock(77)) {
+		t.Fatal("replay of empty snapshot reported success")
+	}
+}

@@ -1,0 +1,441 @@
+// Package core implements a functional secure persistent memory: the
+// paper's full metadata stack — counter-mode encryption (split
+// counters), stateful MACs, and a Bonsai Merkle Tree — over an NVM
+// image, with an explicit persist domain and crash/recovery semantics.
+//
+// Unlike the timing models in internal/engine, everything here is
+// real: data is actually encrypted with AES, MACs are actual keyed
+// hashes, and the BMT root is an actual hash tree root. This is the
+// layer that demonstrates the paper's correctness claims (Invariants 1
+// and 2, Tables I and II) mechanically, and the public library a
+// downstream user of secure-PM research would program against.
+//
+// # State domains
+//
+// Volatile (lost on crash): the write-back data cache contents, the
+// on-chip counter view, and the cached BMT interior nodes.
+//
+// Persistent (survives crash): the NVM image — ciphertext blocks,
+// counter blocks, MAC tags — plus the on-chip BMT root register,
+// which secure processors keep in persistent storage (§III).
+//
+// Memory is not safe for concurrent use; callers serialize access.
+package core
+
+import (
+	"fmt"
+
+	"plp/internal/addr"
+	"plp/internal/bmt"
+	"plp/internal/ctr"
+	"plp/internal/enc"
+	"plp/internal/mac"
+	"plp/internal/tuple"
+)
+
+// BlockData is one 64-byte memory block's contents.
+type BlockData = [addr.BlockBytes]byte
+
+// Config parameterizes a Memory.
+type Config struct {
+	// Key is the processor key (16 bytes for AES-128). Both the
+	// encryption pad generator and the MAC/tree hashes derive from it.
+	Key []byte
+	// BMTLevels and BMTArity shape the integrity tree. Zero values
+	// default to the paper's 9 levels, arity 8.
+	BMTLevels int
+	BMTArity  int
+}
+
+func (c *Config) fill() {
+	if c.BMTLevels == 0 {
+		c.BMTLevels = 9
+	}
+	if c.BMTArity == 0 {
+		c.BMTArity = 8
+	}
+	if len(c.Key) == 0 {
+		c.Key = []byte("plp-default-key!")
+	}
+}
+
+// nvmImage is the persistent domain: what survives a crash.
+type nvmImage struct {
+	cipher map[addr.Block]BlockData
+	ctrs   *ctr.Store
+	macs   *mac.Store
+	// root is the on-chip persistent BMT root register.
+	root bmt.Hash
+}
+
+func (n *nvmImage) clone() *nvmImage {
+	c := &nvmImage{
+		cipher: make(map[addr.Block]BlockData, len(n.cipher)),
+		ctrs:   n.ctrs.Clone(),
+		macs:   n.macs.Clone(),
+		root:   n.root,
+	}
+	for k, v := range n.cipher {
+		c.cipher[k] = v
+	}
+	return c
+}
+
+// Memory is a functional secure persistent memory.
+type Memory struct {
+	cfg    Config
+	encEng *enc.Engine
+	macEng *mac.Engine
+
+	// Volatile domain.
+	dirty map[addr.Block]BlockData // write-back cache of plaintext
+	vctrs *ctr.Store               // on-chip counter view (authoritative)
+	vtree *bmt.Tree                // on-chip cached BMT (authoritative view)
+
+	nvm *nvmImage
+
+	// ctrVersion tracks the per-page counter-block snapshot sequence so
+	// out-of-order commits (legal within an epoch) never install a
+	// stale counter block over a newer one — the WPQ's write-merge
+	// behaviour for metadata blocks.
+	ctrVersion    map[addr.Page]uint64
+	nvmCtrVersion map[addr.Page]uint64
+
+	// Stats.
+	Persists   uint64
+	Reencrypts uint64 // page re-encryptions from minor-counter overflow
+}
+
+// New constructs an empty secure memory.
+func New(cfg Config) (*Memory, error) {
+	cfg.fill()
+	e, err := enc.NewEngine(cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := bmt.NewTopology(cfg.BMTLevels, cfg.BMTArity)
+	if err != nil {
+		return nil, err
+	}
+	m := &Memory{
+		cfg:           cfg,
+		encEng:        e,
+		macEng:        mac.NewEngine(cfg.Key),
+		dirty:         make(map[addr.Block]BlockData),
+		vctrs:         ctr.NewStore(),
+		vtree:         bmt.NewTree(topo, cfg.Key),
+		ctrVersion:    make(map[addr.Page]uint64),
+		nvmCtrVersion: make(map[addr.Page]uint64),
+		nvm: &nvmImage{
+			cipher: make(map[addr.Block]BlockData),
+			ctrs:   ctr.NewStore(),
+			macs:   mac.NewStore(),
+		},
+	}
+	m.nvm.root = m.vtree.Root()
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// leafOf maps a page to its BMT leaf index. Pages map directly; the
+// tree must be large enough for the addresses in use.
+func (m *Memory) leafOf(p addr.Page) uint64 {
+	leaves := m.vtree.Topology().Leaves()
+	if uint64(p) >= leaves {
+		panic(fmt.Sprintf("core: page %d beyond BMT coverage (%d leaves)", p, leaves))
+	}
+	return uint64(p)
+}
+
+// Write stores data into the volatile write-back cache. Nothing
+// reaches the persist domain until Persist (or PersistAll) is called.
+func (m *Memory) Write(blk addr.Block, data BlockData) {
+	m.dirty[blk] = data
+}
+
+// Dirty reports whether blk has unpersisted volatile contents.
+func (m *Memory) Dirty(blk addr.Block) bool {
+	_, ok := m.dirty[blk]
+	return ok
+}
+
+// DirtyCount returns the number of unpersisted blocks.
+func (m *Memory) DirtyCount() int { return len(m.dirty) }
+
+// Pending is an in-flight persist: the new memory tuple computed for
+// one block write-back, before (parts of) it commit to the persist
+// domain.
+type Pending struct {
+	Block     addr.Block
+	Plaintext BlockData
+	C         BlockData   // new ciphertext
+	Ctr       ctr.Counter // new counter value
+	CtrBlock  ctr.Block   // page counter-block snapshot after increment
+	M         mac.Tag     // new MAC
+	Overflow  bool        // minor counter overflowed (page re-encryption)
+	RootAfter bmt.Hash    // valid after ApplyTreeUpdate
+	ctrVer    uint64      // snapshot sequence of CtrBlock within its page
+	applied   bool
+}
+
+// Prepare computes the new tuple items (C, γ, M) for persisting data
+// at blk: it bumps the on-chip counter, encrypts, and MACs. The BMT
+// update is performed separately by ApplyTreeUpdate so that callers
+// (and the crash-recovery checker) can control tree-update ordering.
+func (m *Memory) Prepare(blk addr.Block, data BlockData) *Pending {
+	c, overflow := m.vctrs.Increment(blk)
+	if overflow {
+		m.Reencrypts++
+		// A real controller re-encrypts the page's 64 blocks under the
+		// new major counter. Functionally we only need the blocks that
+		// exist in NVM to stay decryptable; re-encrypt them in place.
+		m.reencryptPage(addr.PageOfBlock(blk), blk)
+	}
+	pg := addr.PageOfBlock(blk)
+	m.ctrVersion[pg]++
+	p := &Pending{
+		Block:     blk,
+		Plaintext: data,
+		Ctr:       c,
+		CtrBlock:  *m.vctrs.BlockFor(pg),
+		Overflow:  overflow,
+		ctrVer:    m.ctrVersion[pg],
+	}
+	p.C = m.encEng.Encrypt(blk, c, data)
+	p.M = m.macEng.Compute(p.C, blk, c)
+	return p
+}
+
+// reencryptPage rewrites every persisted block of page pg (except
+// skip, which is being rewritten anyway) under its new counter, and
+// updates its MAC. This models the burst of writes a minor-counter
+// overflow causes.
+func (m *Memory) reencryptPage(pg addr.Page, skip addr.Block) {
+	first := pg.FirstBlock()
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		b := first + addr.Block(i)
+		if b == skip {
+			continue
+		}
+		old, ok := m.nvm.cipher[b]
+		if !ok {
+			continue
+		}
+		// Old counter is in the *persisted* store; new one on-chip.
+		oldC := m.nvm.ctrs.CounterOf(b)
+		newC := m.vctrs.CounterOf(b)
+		pt := m.encEng.Decrypt(b, oldC, old)
+		nc := m.encEng.Encrypt(b, newC, pt)
+		m.nvm.cipher[b] = nc
+		m.nvm.macs.Set(b, m.macEng.Compute(nc, b, newC))
+	}
+}
+
+// ApplyTreeUpdate performs blk's leaf-to-root BMT update on the
+// on-chip tree, recording the resulting root in p.RootAfter. The leaf
+// hash covers the counter block's *current* contents — tree updates
+// are read-modify-write over live metadata, which is exactly why
+// §IV-B1's commutativity argument holds: whatever order two persists'
+// updates run in, the final LCA (and root) value is the same. Updates
+// applied in different orders model the paper's in-order vs
+// out-of-order root update scenarios.
+func (m *Memory) ApplyTreeUpdate(p *Pending) {
+	pg := addr.PageOfBlock(p.Block)
+	m.vtree.SetLeaf(m.leafOf(pg), m.vctrs.BlockFor(pg).Encode())
+	p.RootAfter = m.vtree.Root()
+	p.applied = true
+}
+
+// Commit persists the selected tuple items of p into the persist
+// domain. Committing Root requires ApplyTreeUpdate to have run.
+// A full commit (tuple.Complete) is the atomic persist of Invariant 1.
+func (m *Memory) Commit(p *Pending, items tuple.Set) {
+	if items.Has(tuple.Ciphertext) {
+		m.nvm.cipher[p.Block] = p.C
+	}
+	if items.Has(tuple.Counter) {
+		pg := addr.PageOfBlock(p.Block)
+		// WPQ write-merging: never let an older counter-block snapshot
+		// overwrite a newer one (out-of-order commits within an epoch).
+		if p.ctrVer > m.nvmCtrVersion[pg] {
+			*m.nvm.ctrs.BlockFor(pg) = p.CtrBlock
+			m.nvmCtrVersion[pg] = p.ctrVer
+		}
+	}
+	if items.Has(tuple.MAC) {
+		m.nvm.macs.Set(p.Block, p.M)
+	}
+	if items.Has(tuple.Root) {
+		if !p.applied {
+			panic("core: Commit(Root) before ApplyTreeUpdate")
+		}
+		// The root register (on-chip, persistent) tracks the tree
+		// engine's current root: by the time this persist's root update
+		// is acknowledged, any tree updates applied since are reflected
+		// too, so out-of-order commits within an epoch converge on the
+		// final root.
+		m.nvm.root = m.vtree.Root()
+	}
+	if items.IsComplete() {
+		m.Persists++
+	}
+}
+
+// Persist performs the full, correctly ordered persist of blk's dirty
+// contents: prepare, tree update, and atomic commit of the complete
+// tuple. It is a no-op if blk is not dirty.
+func (m *Memory) Persist(blk addr.Block) {
+	data, ok := m.dirty[blk]
+	if !ok {
+		return
+	}
+	p := m.Prepare(blk, data)
+	m.ApplyTreeUpdate(p)
+	m.Commit(p, tuple.Complete)
+	delete(m.dirty, blk)
+}
+
+// PersistAll persists every dirty block (epoch barrier semantics).
+// Blocks persist in unspecified order, which is legal within an epoch
+// (§IV-B1: final LCA and root values are order-independent).
+func (m *Memory) PersistAll() {
+	for blk := range m.dirty {
+		m.Persist(blk)
+	}
+}
+
+// Read returns blk's current value: the volatile copy if dirty,
+// otherwise the decrypted and verified NVM copy. Reading a persisted
+// block whose MAC fails verification returns an error.
+func (m *Memory) Read(blk addr.Block) (BlockData, error) {
+	if d, ok := m.dirty[blk]; ok {
+		return d, nil
+	}
+	ct, ok := m.nvm.cipher[blk]
+	if !ok {
+		return BlockData{}, nil // never written: zero block
+	}
+	c := m.nvm.ctrs.CounterOf(blk)
+	if !m.macEng.Verify(ct, blk, c, m.nvm.macs.Get(blk)) {
+		return BlockData{}, fmt.Errorf("core: MAC verification failure reading block %d", blk)
+	}
+	return m.encEng.Decrypt(blk, c, ct), nil
+}
+
+// ReadPersisted returns blk's last *persisted* value, bypassing any
+// dirty volatile copy — the value a crash-recovery observer would see.
+// Undo logging must record this, not the staged value.
+func (m *Memory) ReadPersisted(blk addr.Block) (BlockData, error) {
+	ct, ok := m.nvm.cipher[blk]
+	if !ok {
+		return BlockData{}, nil
+	}
+	c := m.nvm.ctrs.CounterOf(blk)
+	if !m.macEng.Verify(ct, blk, c, m.nvm.macs.Get(blk)) {
+		return BlockData{}, fmt.Errorf("core: MAC verification failure reading block %d", blk)
+	}
+	return m.encEng.Decrypt(blk, c, ct), nil
+}
+
+// Discard drops blk's dirty volatile copy without persisting it
+// (transaction abort).
+func (m *Memory) Discard(blk addr.Block) {
+	delete(m.dirty, blk)
+}
+
+// Crash discards the volatile domain, modelling power loss: dirty
+// cache contents, the on-chip counter view, and cached tree state are
+// lost. The NVM image and the root register survive. After Crash, call
+// Recover before resuming use.
+func (m *Memory) Crash() {
+	m.dirty = make(map[addr.Block]BlockData)
+	m.vctrs = nil
+	m.vtree = nil
+}
+
+// RecoveryReport summarizes post-crash verification.
+type RecoveryReport struct {
+	// BMTOK is true when the tree root rebuilt from NVM counters
+	// matches the persisted root register.
+	BMTOK bool
+	// MACFailures lists blocks whose stateful MAC failed.
+	MACFailures []addr.Block
+	// BlocksChecked is the number of persisted blocks verified.
+	BlocksChecked int
+}
+
+// Clean reports a fully successful recovery.
+func (r RecoveryReport) Clean() bool {
+	return r.BMTOK && len(r.MACFailures) == 0
+}
+
+// Recover rebuilds the on-chip state from the NVM image and verifies
+// integrity: the BMT root is recomputed from the persisted counter
+// blocks and compared with the root register, and every persisted
+// block's MAC is checked. The memory is usable afterwards regardless
+// of the outcome (mirroring a recovery tool that reports corruption).
+func (m *Memory) Recover() RecoveryReport {
+	topo := bmt.MustNewTopology(m.cfg.BMTLevels, m.cfg.BMTArity)
+	m.vctrs = m.nvm.ctrs.Clone()
+	m.vtree = bmt.NewTree(topo, m.cfg.Key)
+
+	// Rebuild the tree from persisted counters.
+	for _, pg := range m.nvm.ctrs.PageList() {
+		b, _ := m.nvm.ctrs.Peek(pg)
+		m.vtree.SetLeaf(m.leafOf(pg), b.Encode())
+	}
+	rebuilt := m.vtree.Root()
+
+	rep := RecoveryReport{BMTOK: rebuilt == m.nvm.root}
+	for blk, ct := range m.nvm.cipher {
+		rep.BlocksChecked++
+		c := m.nvm.ctrs.CounterOf(blk)
+		if !m.macEng.Verify(ct, blk, c, m.nvm.macs.Get(blk)) {
+			rep.MACFailures = append(rep.MACFailures, blk)
+		}
+	}
+	return rep
+}
+
+// Snapshot returns a deep copy of the persist domain; RestoreSnapshot
+// installs one. Together they let tests explore multiple crash points
+// from a common history.
+func (m *Memory) Snapshot() interface{} { return m.nvm.clone() }
+
+// RestoreSnapshot installs a snapshot taken by Snapshot.
+func (m *Memory) RestoreSnapshot(s interface{}) {
+	m.nvm = s.(*nvmImage).clone()
+}
+
+// VerifyAgainst checks that blk recovers to want, returning the
+// observed outcome set (wrong plaintext / MAC failure; BMT failure is
+// global and reported by Recover).
+func (m *Memory) VerifyAgainst(blk addr.Block, want BlockData) tuple.Outcome {
+	var o tuple.Outcome
+	ct, ok := m.nvm.cipher[blk]
+	if !ok {
+		return tuple.WrongPlaintext
+	}
+	c := m.nvm.ctrs.CounterOf(blk)
+	if !m.macEng.Verify(ct, blk, c, m.nvm.macs.Get(blk)) {
+		o |= tuple.MACFail
+	}
+	if m.encEng.Decrypt(blk, c, ct) != want {
+		o |= tuple.WrongPlaintext
+	}
+	return o
+}
+
+// RootRegister returns the persisted BMT root register value.
+func (m *Memory) RootRegister() bmt.Hash { return m.nvm.root }
+
+// Tree exposes the on-chip tree (for tests and the recovery checker).
+func (m *Memory) Tree() *bmt.Tree { return m.vtree }

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"testing"
+
+	"plp/internal/addr"
+	"plp/internal/tuple"
+	"plp/internal/xrand"
+)
+
+func testMem(t *testing.T) *Memory {
+	t.Helper()
+	m, err := New(Config{Key: []byte("0123456789abcdef"), BMTLevels: 5, BMTArity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func data(seed uint64) BlockData {
+	var b BlockData
+	xrand.New(seed).Fill(b[:])
+	return b
+}
+
+func TestWriteReadVolatile(t *testing.T) {
+	m := testMem(t)
+	d := data(1)
+	m.Write(7, d)
+	got, err := m.Read(7)
+	if err != nil || got != d {
+		t.Fatalf("read = %v, err %v", got != d, err)
+	}
+	if !m.Dirty(7) || m.DirtyCount() != 1 {
+		t.Fatal("dirty tracking wrong")
+	}
+}
+
+func TestPersistAndReadBack(t *testing.T) {
+	m := testMem(t)
+	d := data(2)
+	m.Write(7, d)
+	m.Persist(7)
+	if m.Dirty(7) {
+		t.Fatal("still dirty after persist")
+	}
+	got, err := m.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatal("persisted data mismatch")
+	}
+	if m.Persists != 1 {
+		t.Fatalf("persists = %d", m.Persists)
+	}
+}
+
+func TestPersistNonDirtyNoop(t *testing.T) {
+	m := testMem(t)
+	m.Persist(3)
+	if m.Persists != 0 {
+		t.Fatal("persisting clean block counted")
+	}
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	m := testMem(t)
+	got, err := m.Read(99)
+	if err != nil || got != (BlockData{}) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestCrashLosesVolatileKeepsPersisted(t *testing.T) {
+	m := testMem(t)
+	dp, dv := data(3), data(4)
+	m.Write(1, dp)
+	m.Persist(1)
+	m.Write(2, dv) // never persisted
+	m.Crash()
+	rep := m.Recover()
+	if !rep.Clean() {
+		t.Fatalf("recovery not clean: %+v", rep)
+	}
+	got, err := m.Read(1)
+	if err != nil || got != dp {
+		t.Fatal("persisted block lost")
+	}
+	got, _ = m.Read(2)
+	if got == dv {
+		t.Fatal("volatile block survived crash")
+	}
+}
+
+func TestRecoverCleanAfterManyPersists(t *testing.T) {
+	m := testMem(t)
+	r := xrand.New(9)
+	written := map[addr.Block]BlockData{}
+	for i := 0; i < 200; i++ {
+		blk := addr.Block(r.Intn(500))
+		d := data(uint64(i) + 100)
+		m.Write(blk, d)
+		m.Persist(blk)
+		written[blk] = d
+	}
+	m.Crash()
+	rep := m.Recover()
+	if !rep.Clean() {
+		t.Fatalf("recovery not clean: BMTOK=%v macFails=%d", rep.BMTOK, len(rep.MACFailures))
+	}
+	if rep.BlocksChecked != len(written) {
+		t.Fatalf("checked %d, want %d", rep.BlocksChecked, len(written))
+	}
+	for blk, want := range written {
+		got, err := m.Read(blk)
+		if err != nil || got != want {
+			t.Fatalf("block %d wrong after recovery (err %v)", blk, err)
+		}
+	}
+}
+
+func TestRewriteSameBlock(t *testing.T) {
+	m := testMem(t)
+	for i := 0; i < 300; i++ { // crosses a minor-counter overflow (127)
+		d := data(uint64(i))
+		m.Write(5, d)
+		m.Persist(5)
+	}
+	if m.Reencrypts == 0 {
+		t.Fatal("expected minor-counter overflow after 300 rewrites")
+	}
+	m.Crash()
+	if !m.Recover().Clean() {
+		t.Fatal("recovery not clean after overflow")
+	}
+	got, _ := m.Read(5)
+	if got != data(299) {
+		t.Fatal("latest value lost")
+	}
+}
+
+func TestOverflowReencryptsSiblings(t *testing.T) {
+	m := testMem(t)
+	sib := data(50)
+	m.Write(1, sib) // same page as block 0
+	m.Persist(1)
+	for i := 0; i < 130; i++ {
+		m.Write(0, data(uint64(i)))
+		m.Persist(0)
+	}
+	// Sibling must still verify and decrypt after page re-encryption.
+	got, err := m.Read(1)
+	if err != nil {
+		t.Fatalf("sibling unreadable after overflow: %v", err)
+	}
+	if got != sib {
+		t.Fatal("sibling data corrupted by page re-encryption")
+	}
+	m.Crash()
+	if !m.Recover().Clean() {
+		t.Fatal("recovery not clean")
+	}
+}
+
+func TestPersistAllDrainsEpoch(t *testing.T) {
+	m := testMem(t)
+	for i := 0; i < 20; i++ {
+		m.Write(addr.Block(i*3), data(uint64(i)))
+	}
+	m.PersistAll()
+	if m.DirtyCount() != 0 {
+		t.Fatal("dirty blocks remain")
+	}
+	m.Crash()
+	if !m.Recover().Clean() {
+		t.Fatal("recovery not clean")
+	}
+}
+
+// TestTableIRecoveryFailures reproduces Table I: persisting all tuple
+// items except one and observing exactly the paper's predicted failure
+// class, using real crypto.
+func TestTableIRecoveryFailures(t *testing.T) {
+	for _, missing := range tuple.Items() {
+		missing := missing
+		t.Run("missing_"+missing.String(), func(t *testing.T) {
+			m := testMem(t)
+			// Establish an initial persisted version (old tuple).
+			old := data(10)
+			m.Write(8, old)
+			m.Persist(8)
+
+			// New value persists all items except `missing`.
+			newD := data(11)
+			p := m.Prepare(8, newD)
+			m.ApplyTreeUpdate(p)
+			m.Commit(p, tuple.Complete.Without(missing))
+
+			m.Crash()
+			rep := m.Recover()
+			predicted := tuple.ClassifyMissing(tuple.Complete.Without(missing))
+
+			if gotBMT := !rep.BMTOK; gotBMT != (predicted&tuple.BMTFail != 0) {
+				t.Errorf("BMT failure = %v, predicted %v", gotBMT, predicted)
+			}
+			obs := m.VerifyAgainst(8, newD)
+			if gotMAC := obs&tuple.MACFail != 0; gotMAC != (predicted&tuple.MACFail != 0) {
+				t.Errorf("MAC failure = %v, predicted %v", gotMAC, predicted)
+			}
+			if gotWP := obs&tuple.WrongPlaintext != 0; gotWP != (predicted&tuple.WrongPlaintext != 0) {
+				t.Errorf("wrong plaintext = %v, predicted %v", gotWP, predicted)
+			}
+		})
+	}
+}
+
+// TestTableIIOrderingViolations reproduces Table II: two ordered
+// persists α1 → α2 where one tuple component persists out of order.
+func TestTableIIOrderingViolations(t *testing.T) {
+	// Two blocks in different pages so their counters/MACs are in
+	// different metadata blocks but the BMT root is shared.
+	blk1, blk2 := addr.Block(0), addr.Block(addr.BlocksPerPage)
+
+	t.Run("root_violation", func(t *testing.T) {
+		// α1's C/γ/M persist, α2's root persists (computed WITHOUT
+		// α1's leaf update — the out-of-order tree update), then crash
+		// before R1 and α2's other items persist. Paper: BMT failure.
+		m := testMem(t)
+		d1, d2 := data(20), data(21)
+		p1 := m.Prepare(blk1, d1)
+		p2 := m.Prepare(blk2, d2)
+		// Tree sees α2's update first (ordering violation).
+		m.ApplyTreeUpdate(p2)
+		m.Commit(p1, tuple.Complete.Without(tuple.Root)) // α1 data persists
+		m.Commit(p2, tuple.Set(0).With(tuple.Root))      // R2 persists
+		m.Crash()
+		rep := m.Recover()
+		if rep.BMTOK {
+			t.Fatal("expected BMT verification failure (Table II, R1→R2)")
+		}
+		// Per Table II the failure is confined to BMT verification: α1's
+		// MAC should still verify.
+		if obs := m.VerifyAgainst(blk1, d1); obs&tuple.MACFail != 0 || obs&tuple.WrongPlaintext != 0 {
+			t.Fatalf("unexpected extra failures: %v", obs)
+		}
+	})
+
+	t.Run("mac_violation", func(t *testing.T) {
+		// M2 persists instead of M1: MAC failure for C1 (old M1 in NVM
+		// mismatches new C1) and for C2 (new M2 with old C2).
+		m := testMem(t)
+		d1, d2 := data(22), data(23)
+		// Establish old values so "stale" items exist.
+		m.Write(blk1, data(30))
+		m.Persist(blk1)
+		m.Write(blk2, data(31))
+		m.Persist(blk2)
+
+		p1 := m.Prepare(blk1, d1)
+		p2 := m.Prepare(blk2, d2)
+		m.ApplyTreeUpdate(p1)
+		m.ApplyTreeUpdate(p2)
+		m.Commit(p1, tuple.Complete.Without(tuple.MAC)) // M1 missing
+		m.Commit(p2, tuple.Set(0).With(tuple.MAC))      // M2 persisted early
+		m.Crash()
+		m.Recover()
+		if obs := m.VerifyAgainst(blk1, d1); obs&tuple.MACFail == 0 {
+			t.Fatal("expected MAC failure for C1")
+		}
+		if obs := m.VerifyAgainst(blk2, data(31)); obs&tuple.MACFail == 0 {
+			t.Fatal("expected MAC failure for C2 (new MAC over old data)")
+		}
+	})
+
+	t.Run("counter_violation", func(t *testing.T) {
+		// γ2 persists but γ1 does not: P1 not recoverable.
+		m := testMem(t)
+		d1, d2 := data(24), data(25)
+		m.Write(blk1, data(32))
+		m.Persist(blk1)
+
+		p1 := m.Prepare(blk1, d1)
+		p2 := m.Prepare(blk2, d2)
+		m.ApplyTreeUpdate(p1)
+		m.ApplyTreeUpdate(p2)
+		m.Commit(p1, tuple.Complete.Without(tuple.Counter)) // γ1 missing
+		m.Commit(p2, tuple.Set(0).With(tuple.Counter))      // γ2 persisted early
+		m.Crash()
+		m.Recover()
+		if obs := m.VerifyAgainst(blk1, d1); obs&tuple.WrongPlaintext == 0 {
+			t.Fatal("expected wrong plaintext for P1")
+		}
+	})
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := testMem(t)
+	m.Write(1, data(40))
+	m.Persist(1)
+	snap := m.Snapshot()
+	m.Write(1, data(41))
+	m.Persist(1)
+	m.RestoreSnapshot(snap)
+	m.Crash()
+	if !m.Recover().Clean() {
+		t.Fatal("restored snapshot not clean")
+	}
+	got, _ := m.Read(1)
+	if got != data(40) {
+		t.Fatal("snapshot did not restore old value")
+	}
+}
+
+func TestCommitRootWithoutTreeUpdatePanics(t *testing.T) {
+	m := testMem(t)
+	p := m.Prepare(1, data(50))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Commit(p, tuple.Set(0).With(tuple.Root))
+}
+
+func TestDefaultsAppliedAndBadKeyRejected(t *testing.T) {
+	if _, err := New(Config{Key: []byte("short")}); err == nil {
+		t.Fatal("short key accepted")
+	}
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.BMTLevels != 9 || m.cfg.BMTArity != 8 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{Key: []byte("bad")})
+}
+
+func TestRootRegisterMovesOnPersist(t *testing.T) {
+	m := testMem(t)
+	r0 := m.RootRegister()
+	m.Write(1, data(60))
+	m.Persist(1)
+	if m.RootRegister() == r0 {
+		t.Fatal("root register unchanged by persist")
+	}
+}
+
+func TestReadDetectsNVMTamper(t *testing.T) {
+	m := testMem(t)
+	d := data(70)
+	m.Write(1, d)
+	m.Persist(1)
+	// Tamper with the NVM ciphertext directly.
+	ct := m.nvm.cipher[1]
+	ct[0] ^= 0xff
+	m.nvm.cipher[1] = ct
+	if _, err := m.Read(1); err == nil {
+		t.Fatal("tampered ciphertext read without error")
+	}
+}
+
+func BenchmarkPersist(b *testing.B) {
+	m := MustNew(Config{Key: []byte("0123456789abcdef"), BMTLevels: 9, BMTArity: 8})
+	d := data(1)
+	for i := 0; i < b.N; i++ {
+		blk := addr.Block(i % 8192)
+		m.Write(blk, d)
+		m.Persist(blk)
+	}
+}
+
+func TestReadPersistedBypassesVolatile(t *testing.T) {
+	m := testMem(t)
+	oldD := data(80)
+	m.Write(1, oldD)
+	m.Persist(1)
+	m.Write(1, data(81)) // staged, unpersisted
+	got, err := m.ReadPersisted(1)
+	if err != nil || got != oldD {
+		t.Fatalf("ReadPersisted = staged value (err %v)", err)
+	}
+	// Read sees the staged value.
+	cur, _ := m.Read(1)
+	if cur != data(81) {
+		t.Fatal("Read should see staged value")
+	}
+	// Never-persisted block: zero.
+	if got, err := m.ReadPersisted(50); err != nil || got != (BlockData{}) {
+		t.Fatal("unpersisted ReadPersisted not zero")
+	}
+}
+
+func TestReadPersistedDetectsTamper(t *testing.T) {
+	m := testMem(t)
+	m.Write(1, data(82))
+	m.Persist(1)
+	m.TamperCiphertext(1, 0x04)
+	if _, err := m.ReadPersisted(1); err == nil {
+		t.Fatal("tampered persisted read accepted")
+	}
+}
+
+func TestDiscardDropsStagedWrite(t *testing.T) {
+	m := testMem(t)
+	m.Write(1, data(83))
+	m.Persist(1)
+	m.Write(1, data(84))
+	m.Discard(1)
+	if m.Dirty(1) {
+		t.Fatal("still dirty after Discard")
+	}
+	got, _ := m.Read(1)
+	if got != data(83) {
+		t.Fatal("Discard did not restore persisted view")
+	}
+}
+
+func TestTreeAccessor(t *testing.T) {
+	m := testMem(t)
+	if m.Tree() == nil {
+		t.Fatal("Tree() nil")
+	}
+	r0 := m.Tree().Root()
+	m.Write(1, data(85))
+	m.Persist(1)
+	if m.Tree().Root() == r0 {
+		t.Fatal("tree root unchanged by persist")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"plp/internal/addr"
+)
+
+// blockInTree folds an arbitrary block id into the 5-level tree's
+// coverage (8^4 pages x 64 blocks).
+func blockInTree(raw uint64) addr.Block {
+	const covered = 4096 * addr.BlocksPerPage
+	return addr.Block(raw % covered)
+}
+
+// FuzzLoadImage hardens the image parser: arbitrary bytes must never
+// panic, and any accepted image must pass through recovery (clean or
+// not) without corrupting the Memory's usability.
+func FuzzLoadImage(f *testing.F) {
+	m := MustNew(Config{Key: []byte("fuzz-image-key!!"), BMTLevels: 5})
+	m.Write(1, BlockData{1, 2, 3})
+	m.Persist(1)
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PLPIMG01"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x41}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mm := MustNew(Config{Key: []byte("fuzz-image-key!!"), BMTLevels: 5})
+		if _, err := mm.LoadImage(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Accepted: the memory must remain usable.
+		mm.Write(9, BlockData{9})
+		mm.Persist(9)
+		mm.Crash()
+		mm.Recover()
+		if _, err := mm.Read(9); err != nil {
+			t.Fatalf("memory unusable after accepted image: %v", err)
+		}
+	})
+}
+
+// FuzzPersistReadBack: arbitrary block/data pairs must persist and
+// recover exactly, including crash cycles.
+func FuzzPersistReadBack(f *testing.F) {
+	f.Add(uint64(0), []byte("hello"))
+	f.Add(uint64(123456), []byte{})
+	f.Add(uint64(1<<20), bytes.Repeat([]byte{0xaa}, 64))
+
+	f.Fuzz(func(t *testing.T, rawBlk uint64, raw []byte) {
+		m := MustNew(Config{Key: []byte("fuzz-image-key!!"), BMTLevels: 5})
+		blk := blockInTree(rawBlk)
+		var d BlockData
+		copy(d[:], raw)
+		m.Write(blk, d)
+		m.Persist(blk)
+		m.Crash()
+		if !m.Recover().Clean() {
+			t.Fatal("recovery not clean")
+		}
+		got, err := m.Read(blk)
+		if err != nil || got != d {
+			t.Fatalf("read back mismatch (err %v)", err)
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"plp/internal/addr"
+	"plp/internal/bmt"
+	"plp/internal/ctr"
+	"plp/internal/mac"
+)
+
+// Image serialization: the persist domain (NVM image + root register)
+// can be written to and restored from a byte stream, making the
+// "persistent" memory actually persistent across process lifetimes.
+// The image stores only ciphertext and metadata — never plaintext —
+// so an image file is exactly as attackable as the simulated NVM, and
+// restoring runs the same verification as crash recovery.
+//
+// Format (little-endian):
+//
+//	magic    [8]byte "PLPIMG01"
+//	root     uint64
+//	nCtr     uint64, then nCtr × { page uint64, block [64]byte }
+//	nMac     uint64, then nMac × { block uint64, tag uint64 }
+//	nCipher  uint64, then nCipher × { block uint64, data [64]byte }
+//
+// Entries are sorted by key so images are deterministic.
+
+var imageMagic = [8]byte{'P', 'L', 'P', 'I', 'M', 'G', '0', '1'}
+
+// SaveImage writes the persist domain to w.
+func (m *Memory) SaveImage(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(imageMagic[:]); err != nil {
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, err := bw.Write(b[:])
+		return err
+	}
+	if err := writeU64(uint64(m.nvm.root)); err != nil {
+		return err
+	}
+
+	// Counter blocks.
+	pages := m.nvm.ctrs.PageList()
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	if err := writeU64(uint64(len(pages))); err != nil {
+		return err
+	}
+	for _, pg := range pages {
+		cb, _ := m.nvm.ctrs.Peek(pg)
+		if err := writeU64(uint64(pg)); err != nil {
+			return err
+		}
+		enc := cb.Encode()
+		if _, err := bw.Write(enc[:]); err != nil {
+			return err
+		}
+	}
+
+	// MAC tags.
+	macBlocks := m.macBlockList()
+	if err := writeU64(uint64(len(macBlocks))); err != nil {
+		return err
+	}
+	for _, blk := range macBlocks {
+		if err := writeU64(uint64(blk)); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(m.nvm.macs.Get(blk))); err != nil {
+			return err
+		}
+	}
+
+	// Ciphertext blocks.
+	blocks := make([]addr.Block, 0, len(m.nvm.cipher))
+	for b := range m.nvm.cipher {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	if err := writeU64(uint64(len(blocks))); err != nil {
+		return err
+	}
+	for _, blk := range blocks {
+		if err := writeU64(uint64(blk)); err != nil {
+			return err
+		}
+		d := m.nvm.cipher[blk]
+		if _, err := bw.Write(d[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// macBlockList returns the blocks with stored MAC tags, sorted.
+func (m *Memory) macBlockList() []addr.Block {
+	// mac.Store does not expose iteration; reconstruct from the cipher
+	// map, which is exactly the set of persisted blocks.
+	out := make([]addr.Block, 0, len(m.nvm.cipher))
+	for b := range m.nvm.cipher {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LoadImage replaces the persist domain with the stream's contents and
+// runs crash recovery, returning its report. The volatile domain is
+// reset; the memory is usable afterwards.
+func (m *Memory) LoadImage(r io.Reader) (RecoveryReport, error) {
+	br := bufio.NewReader(r)
+	var mg [8]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return RecoveryReport{}, fmt.Errorf("core: image header: %w", err)
+	}
+	if mg != imageMagic {
+		return RecoveryReport{}, fmt.Errorf("core: bad image magic %q", mg)
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	root, err := readU64()
+	if err != nil {
+		return RecoveryReport{}, fmt.Errorf("core: image root: %w", err)
+	}
+
+	img := &nvmImage{
+		cipher: make(map[addr.Block]BlockData),
+		ctrs:   ctr.NewStore(),
+		macs:   mac.NewStore(),
+		root:   bmt.Hash(root),
+	}
+	// Coverage bounds: every page (and block) must fall under the
+	// configured integrity tree, or recovery could not verify it.
+	maxPages := m.vtree.Topology().Leaves()
+	maxBlocks := maxPages * addr.BlocksPerPage
+
+	nCtr, err := readU64()
+	if err != nil {
+		return RecoveryReport{}, fmt.Errorf("core: image ctr count: %w", err)
+	}
+	if nCtr > 1<<32 {
+		return RecoveryReport{}, fmt.Errorf("core: implausible counter count %d", nCtr)
+	}
+	for i := uint64(0); i < nCtr; i++ {
+		pg, err := readU64()
+		if err != nil {
+			return RecoveryReport{}, fmt.Errorf("core: image ctr %d: %w", i, err)
+		}
+		if pg >= maxPages {
+			return RecoveryReport{}, fmt.Errorf("core: image page %d beyond tree coverage (%d)", pg, maxPages)
+		}
+		var enc [64]byte
+		if _, err := io.ReadFull(br, enc[:]); err != nil {
+			return RecoveryReport{}, fmt.Errorf("core: image ctr %d data: %w", i, err)
+		}
+		*img.ctrs.BlockFor(addr.Page(pg)) = ctr.DecodeBlock(enc)
+	}
+
+	nMac, err := readU64()
+	if err != nil {
+		return RecoveryReport{}, fmt.Errorf("core: image mac count: %w", err)
+	}
+	if nMac > 1<<32 {
+		return RecoveryReport{}, fmt.Errorf("core: implausible mac count %d", nMac)
+	}
+	for i := uint64(0); i < nMac; i++ {
+		blk, err := readU64()
+		if err != nil {
+			return RecoveryReport{}, fmt.Errorf("core: image mac %d: %w", i, err)
+		}
+		if blk >= maxBlocks {
+			return RecoveryReport{}, fmt.Errorf("core: image mac block %d beyond coverage (%d)", blk, maxBlocks)
+		}
+		tag, err := readU64()
+		if err != nil {
+			return RecoveryReport{}, fmt.Errorf("core: image mac %d tag: %w", i, err)
+		}
+		img.macs.Set(addr.Block(blk), mac.Tag(tag))
+	}
+
+	nCipher, err := readU64()
+	if err != nil {
+		return RecoveryReport{}, fmt.Errorf("core: image cipher count: %w", err)
+	}
+	if nCipher > 1<<32 {
+		return RecoveryReport{}, fmt.Errorf("core: implausible cipher count %d", nCipher)
+	}
+	for i := uint64(0); i < nCipher; i++ {
+		blk, err := readU64()
+		if err != nil {
+			return RecoveryReport{}, fmt.Errorf("core: image cipher %d: %w", i, err)
+		}
+		if blk >= maxBlocks {
+			return RecoveryReport{}, fmt.Errorf("core: image block %d beyond coverage (%d)", blk, maxBlocks)
+		}
+		var d BlockData
+		if _, err := io.ReadFull(br, d[:]); err != nil {
+			return RecoveryReport{}, fmt.Errorf("core: image cipher %d data: %w", i, err)
+		}
+		img.cipher[addr.Block(blk)] = d
+	}
+
+	m.nvm = img
+	m.dirty = make(map[addr.Block]BlockData)
+	m.ctrVersion = make(map[addr.Page]uint64)
+	m.nvmCtrVersion = make(map[addr.Page]uint64)
+	return m.Recover(), nil
+}

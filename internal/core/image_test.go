@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"plp/internal/addr"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	m := testMem(t)
+	written := map[addr.Block]BlockData{}
+	for i := 0; i < 50; i++ {
+		blk := addr.Block(i * 7)
+		d := data(uint64(i))
+		m.Write(blk, d)
+		m.Persist(blk)
+		written[blk] = d
+	}
+
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh memory with the same key.
+	m2 := testMem(t)
+	rep, err := m2.LoadImage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("restored image failed verification: %+v", rep)
+	}
+	for blk, want := range written {
+		got, err := m2.Read(blk)
+		if err != nil || got != want {
+			t.Fatalf("block %d lost in image (err %v)", blk, err)
+		}
+	}
+	// The restored memory is fully usable.
+	m2.Write(1000, data(99))
+	m2.Persist(1000)
+	m2.Crash()
+	if !m2.Recover().Clean() {
+		t.Fatal("post-restore persist broke recovery")
+	}
+}
+
+func TestImageDeterministic(t *testing.T) {
+	build := func() []byte {
+		m := testMem(t)
+		for i := 0; i < 20; i++ {
+			m.Write(addr.Block(i), data(uint64(i)))
+			m.Persist(addr.Block(i))
+		}
+		var buf bytes.Buffer
+		if err := m.SaveImage(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("image serialization not deterministic")
+	}
+}
+
+func TestImageContainsNoPlaintext(t *testing.T) {
+	m := testMem(t)
+	secret := "TOPSECRETPLAINTEXTMARKER"
+	var d BlockData
+	copy(d[:], secret)
+	m.Write(5, d)
+	m.Persist(5)
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), secret) {
+		t.Fatal("plaintext leaked into the image")
+	}
+}
+
+func TestImageTamperDetected(t *testing.T) {
+	m := testMem(t)
+	m.Write(5, data(1))
+	m.Persist(5)
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one bit in the last 64 bytes (inside the ciphertext).
+	raw[len(raw)-10] ^= 0x10
+	m2 := testMem(t)
+	rep, err := m2.LoadImage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("tampered image accepted")
+	}
+}
+
+func TestImageWrongKeyRejected(t *testing.T) {
+	m := testMem(t)
+	m.Write(5, data(1))
+	m.Persist(5)
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := MustNew(Config{Key: []byte("completely-other"), BMTLevels: 5, BMTArity: 8})
+	rep, err := other.LoadImage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("image restored under the wrong processor key")
+	}
+}
+
+func TestImageBadInput(t *testing.T) {
+	m := testMem(t)
+	if _, err := m.LoadImage(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncations at various points.
+	m.Write(1, data(1))
+	m.Persist(1)
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 8, 16, 24, buf.Len() - 1} {
+		m2 := testMem(t)
+		if _, err := m2.LoadImage(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestEmptyImage(t *testing.T) {
+	m := testMem(t)
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := testMem(t)
+	rep, err := m2.LoadImage(bytes.NewReader(buf.Bytes()))
+	if err != nil || !rep.Clean() {
+		t.Fatalf("empty image: %+v err=%v", rep, err)
+	}
+}
+
+func BenchmarkSaveImage(b *testing.B) {
+	m := MustNew(Config{Key: []byte("0123456789abcdef"), BMTLevels: 6})
+	for i := 0; i < 1000; i++ {
+		m.Write(addr.Block(i), BlockData{byte(i)})
+		m.Persist(addr.Block(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := m.SaveImage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestImageOutOfCoverageRejected(t *testing.T) {
+	// An image referencing pages/blocks beyond the configured tree's
+	// coverage must be rejected at load, not crash recovery
+	// (regression: found by FuzzLoadImage).
+	m := testMem(t) // 5 levels: 4096 pages
+	m.Write(5, data(1))
+	m.Persist(5)
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a memory with a SMALLER tree (2 levels: 8 pages).
+	small := MustNew(Config{Key: []byte("0123456789abcdef"), BMTLevels: 2, BMTArity: 8})
+	bigBlock := addr.Block(8 * addr.BlocksPerPage) // beyond 8 pages
+	m2 := testMem(t)
+	m2.Write(bigBlock, data(2))
+	m2.Persist(bigBlock)
+	var buf2 bytes.Buffer
+	if err := m2.SaveImage(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.LoadImage(bytes.NewReader(buf2.Bytes())); err == nil {
+		t.Fatal("out-of-coverage image accepted")
+	}
+}

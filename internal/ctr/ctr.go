@@ -1,0 +1,190 @@
+// Package ctr implements the split-counter organization of Yan et al.
+// that the paper assumes for counter-mode memory encryption: each 4KB
+// encryption page has one 64-byte counter block co-locating a 64-bit
+// per-page major counter with 64 seven-bit per-block minor counters.
+// A cache block's encryption counter is the concatenation
+// (major || minor) of its page's major counter and its own minor
+// counter.
+//
+// Incrementing a minor counter past 127 overflows: the major counter
+// increments, all minors reset, and the whole page must be
+// re-encrypted (an event the store surfaces to its caller, since it
+// generates 64 extra block writes).
+package ctr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"plp/internal/addr"
+)
+
+// MinorBits is the width of each per-block minor counter.
+const MinorBits = 7
+
+// MinorMax is the largest value a minor counter can hold.
+const MinorMax = (1 << MinorBits) - 1 // 127
+
+// Counter is the logical encryption counter of one cache block: the
+// concatenation of its page's major counter and its own minor counter.
+type Counter struct {
+	Major uint64
+	Minor uint8
+}
+
+// Seed folds the counter into a 64-bit value used (together with the
+// block address) to form the encryption seed. Major is shifted left so
+// that distinct (major, minor) pairs yield distinct seeds.
+func (c Counter) Seed() uint64 {
+	return c.Major<<MinorBits | uint64(c.Minor)
+}
+
+// IsZero reports whether the counter has never been incremented.
+func (c Counter) IsZero() bool { return c.Major == 0 && c.Minor == 0 }
+
+func (c Counter) String() string {
+	return fmt.Sprintf("ctr{maj:%d min:%d}", c.Major, c.Minor)
+}
+
+// Block is the 64-byte counter block covering one 4KB page: one major
+// counter plus addr.BlocksPerPage minor counters.
+type Block struct {
+	Major  uint64
+	Minors [addr.BlocksPerPage]uint8
+}
+
+// Counter returns the logical counter of the page-relative block idx.
+func (b *Block) Counter(idx int) Counter {
+	return Counter{Major: b.Major, Minor: b.Minors[idx]}
+}
+
+// Encode serializes the counter block into the 64-byte layout the BMT
+// hashes: 8 bytes of major counter followed by 56 bytes packing the 64
+// 7-bit minors.
+func (b *Block) Encode() [64]byte {
+	var out [64]byte
+	binary.LittleEndian.PutUint64(out[0:8], b.Major)
+	// Pack 64 x 7-bit minors into 56 bytes.
+	bitpos := 0
+	for _, m := range b.Minors {
+		v := uint32(m & MinorMax)
+		bytePos := 8 + bitpos/8
+		shift := uint(bitpos % 8)
+		out[bytePos] |= byte(v << shift)
+		if shift > 1 { // spills into next byte
+			out[bytePos+1] |= byte(v >> (8 - shift))
+		}
+		bitpos += MinorBits
+	}
+	return out
+}
+
+// DecodeBlock parses a 64-byte encoded counter block.
+func DecodeBlock(in [64]byte) Block {
+	var b Block
+	b.Major = binary.LittleEndian.Uint64(in[0:8])
+	bitpos := 0
+	for i := range b.Minors {
+		bytePos := 8 + bitpos/8
+		shift := uint(bitpos % 8)
+		v := uint32(in[bytePos]) >> shift
+		if shift > 1 {
+			v |= uint32(in[bytePos+1]) << (8 - shift)
+		}
+		b.Minors[i] = uint8(v & MinorMax)
+		bitpos += MinorBits
+	}
+	return b
+}
+
+// Store is the authoritative (in-NVM) collection of counter blocks,
+// one per page, allocated lazily. The zero-value block (major 0, all
+// minors 0) is the state of never-written pages.
+type Store struct {
+	blocks map[addr.Page]*Block
+
+	// Overflows counts minor-counter overflow events (page
+	// re-encryptions).
+	Overflows uint64
+	// Increments counts total counter bumps.
+	Increments uint64
+}
+
+// NewStore returns an empty counter store.
+func NewStore() *Store {
+	return &Store{blocks: make(map[addr.Page]*Block)}
+}
+
+// BlockFor returns the counter block for page p, allocating a zero
+// block if the page was never touched.
+func (s *Store) BlockFor(p addr.Page) *Block {
+	b := s.blocks[p]
+	if b == nil {
+		b = &Block{}
+		s.blocks[p] = b
+	}
+	return b
+}
+
+// Peek returns the counter block for p without allocating; ok=false if
+// the page was never touched.
+func (s *Store) Peek(p addr.Page) (*Block, bool) {
+	b, ok := s.blocks[p]
+	return b, ok
+}
+
+// CounterOf returns the current encryption counter for data block blk.
+func (s *Store) CounterOf(blk addr.Block) Counter {
+	p := addr.PageOfBlock(blk)
+	if b, ok := s.blocks[p]; ok {
+		return b.Counter(addr.BlockIndexInPage(blk))
+	}
+	return Counter{}
+}
+
+// Increment bumps the minor counter of data block blk prior to a write
+// back, returning the new counter and whether the minor overflowed
+// (forcing a major-counter bump, minor reset, and page re-encryption).
+func (s *Store) Increment(blk addr.Block) (c Counter, overflow bool) {
+	p := addr.PageOfBlock(blk)
+	b := s.BlockFor(p)
+	idx := addr.BlockIndexInPage(blk)
+	s.Increments++
+	if b.Minors[idx] == MinorMax {
+		b.Major++
+		for i := range b.Minors {
+			b.Minors[i] = 0
+		}
+		b.Minors[idx] = 1
+		s.Overflows++
+		return Counter{Major: b.Major, Minor: 1}, true
+	}
+	b.Minors[idx]++
+	return Counter{Major: b.Major, Minor: b.Minors[idx]}, false
+}
+
+// Pages returns the number of pages with allocated counter blocks.
+func (s *Store) Pages() int { return len(s.blocks) }
+
+// PageList returns the pages with allocated counter blocks, in no
+// particular order.
+func (s *Store) PageList() []addr.Page {
+	out := make([]addr.Page, 0, len(s.blocks))
+	for p := range s.blocks {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Clone deep-copies the store; used to snapshot persistent state for
+// crash simulation.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	c.Overflows = s.Overflows
+	c.Increments = s.Increments
+	for p, b := range s.blocks {
+		nb := *b
+		c.blocks[p] = &nb
+	}
+	return c
+}

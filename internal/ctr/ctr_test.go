@@ -1,0 +1,209 @@
+package ctr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plp/internal/addr"
+	"plp/internal/xrand"
+)
+
+func TestIncrementBasic(t *testing.T) {
+	s := NewStore()
+	c, ov := s.Increment(0)
+	if ov || c.Major != 0 || c.Minor != 1 {
+		t.Fatalf("first increment: %v ov=%v", c, ov)
+	}
+	c, _ = s.Increment(0)
+	if c.Minor != 2 {
+		t.Fatalf("second increment: %v", c)
+	}
+	if got := s.CounterOf(0); got != c {
+		t.Fatalf("CounterOf = %v, want %v", got, c)
+	}
+}
+
+func TestIncrementIndependentBlocks(t *testing.T) {
+	s := NewStore()
+	s.Increment(0)
+	s.Increment(0)
+	s.Increment(1)
+	if s.CounterOf(0).Minor != 2 || s.CounterOf(1).Minor != 1 {
+		t.Fatal("blocks share minor counters")
+	}
+	// Block in another page has its own major
+	other := addr.Block(addr.BlocksPerPage) // first block of page 1
+	if s.CounterOf(other).Minor != 0 {
+		t.Fatal("untouched page counter nonzero")
+	}
+}
+
+func TestMinorOverflow(t *testing.T) {
+	s := NewStore()
+	blk := addr.Block(5)
+	s.Increment(addr.Block(6)) // sibling gets minor 1
+	var c Counter
+	var ov bool
+	for i := 0; i < MinorMax; i++ {
+		c, ov = s.Increment(blk)
+		if ov {
+			t.Fatalf("unexpected overflow at %d", i)
+		}
+	}
+	if c.Minor != MinorMax {
+		t.Fatalf("minor = %d, want %d", c.Minor, MinorMax)
+	}
+	c, ov = s.Increment(blk)
+	if !ov {
+		t.Fatal("expected overflow")
+	}
+	if c.Major != 1 || c.Minor != 1 {
+		t.Fatalf("post-overflow counter = %v", c)
+	}
+	// Sibling's minor must have been reset by the page re-encryption.
+	if sib := s.CounterOf(addr.Block(6)); sib.Major != 1 || sib.Minor != 0 {
+		t.Fatalf("sibling = %v, want major 1 minor 0", sib)
+	}
+	if s.Overflows != 1 {
+		t.Fatalf("overflow count = %d", s.Overflows)
+	}
+}
+
+func TestSeedUniqueAcrossIncrements(t *testing.T) {
+	s := NewStore()
+	seen := map[uint64]bool{}
+	blk := addr.Block(3)
+	for i := 0; i < 1000; i++ { // crosses several overflows
+		c, _ := s.Increment(blk)
+		seed := c.Seed()
+		if seen[seed] {
+			t.Fatalf("seed reuse at increment %d: %d (%v)", i, seed, c)
+		}
+		seen[seed] = true
+	}
+}
+
+func TestSeedDistinguishesMajorMinor(t *testing.T) {
+	a := Counter{Major: 1, Minor: 0}
+	b := Counter{Major: 0, Minor: 1}
+	if a.Seed() == b.Seed() {
+		t.Fatal("seed collision between (1,0) and (0,1)")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(major uint64, seed uint64) bool {
+		var b Block
+		b.Major = major
+		r := xrand.New(seed)
+		for i := range b.Minors {
+			b.Minors[i] = uint8(r.Intn(MinorMax + 1))
+		}
+		dec := DecodeBlock(b.Encode())
+		if dec.Major != b.Major {
+			return false
+		}
+		for i := range b.Minors {
+			if dec.Minors[i] != b.Minors[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeChangesWithAnyMinor(t *testing.T) {
+	var b Block
+	base := b.Encode()
+	for i := range b.Minors {
+		b2 := b
+		b2.Minors[i] = 1
+		if b2.Encode() == base {
+			t.Fatalf("minor %d not reflected in encoding", i)
+		}
+	}
+}
+
+func TestEncodeFitsIn64Bytes(t *testing.T) {
+	// 64 minors x 7 bits = 448 bits = 56 bytes; + 8 major = 64. The
+	// last packed byte is index 8+55 = 63; ensure the encoder never
+	// writes past it even with all-ones minors.
+	var b Block
+	b.Major = ^uint64(0)
+	for i := range b.Minors {
+		b.Minors[i] = MinorMax
+	}
+	enc := b.Encode()
+	dec := DecodeBlock(enc)
+	if dec.Major != b.Major || dec.Minors != b.Minors {
+		t.Fatal("all-ones block round trip failed")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Counter{}).IsZero() {
+		t.Fatal("zero counter not IsZero")
+	}
+	if (Counter{Minor: 1}).IsZero() {
+		t.Fatal("nonzero counter IsZero")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewStore()
+	s.Increment(0)
+	c := s.Clone()
+	s.Increment(0)
+	if c.CounterOf(0).Minor != 1 {
+		t.Fatalf("clone mutated: %v", c.CounterOf(0))
+	}
+	if s.CounterOf(0).Minor != 2 {
+		t.Fatalf("original wrong: %v", s.CounterOf(0))
+	}
+	if c.Pages() != 1 {
+		t.Fatalf("clone pages = %d", c.Pages())
+	}
+}
+
+func TestPeekDoesNotAllocate(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Peek(7); ok {
+		t.Fatal("Peek found unallocated page")
+	}
+	if s.Pages() != 0 {
+		t.Fatal("Peek allocated")
+	}
+	s.BlockFor(7)
+	if _, ok := s.Peek(7); !ok {
+		t.Fatal("Peek missed allocated page")
+	}
+}
+
+func TestMemoryOverheadRatio(t *testing.T) {
+	// Split counters: 64B of counters per 4KB page = 1.5625% overhead,
+	// the figure the paper cites (1.56%) for preferring split counters.
+	ratio := 64.0 / 4096.0
+	if ratio < 0.0156 || ratio > 0.0157 {
+		t.Fatalf("split counter overhead = %v", ratio)
+	}
+}
+
+func BenchmarkIncrement(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < b.N; i++ {
+		s.Increment(addr.Block(i % 4096))
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var blk Block
+	for i := range blk.Minors {
+		blk.Minors[i] = uint8(i)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = blk.Encode()
+	}
+}

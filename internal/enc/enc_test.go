@@ -1,0 +1,146 @@
+package enc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"plp/internal/addr"
+	"plp/internal/ctr"
+	"plp/internal/xrand"
+)
+
+var key = []byte("0123456789abcdef")
+
+func randBlock(seed uint64) [BlockBytes]byte {
+	var b [BlockBytes]byte
+	xrand.New(seed).Fill(b[:])
+	return b
+}
+
+func TestNewEngineKeyLength(t *testing.T) {
+	if _, err := NewEngine([]byte("short")); err == nil {
+		t.Fatal("expected error for short key")
+	}
+	if _, err := NewEngine(key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustNewEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewEngine(nil)
+}
+
+func TestRoundTrip(t *testing.T) {
+	e := MustNewEngine(key)
+	f := func(blkRaw uint64, major uint64, minor uint8, seed uint64) bool {
+		blk := addr.Block(blkRaw)
+		c := ctr.Counter{Major: major, Minor: minor & ctr.MinorMax}
+		p := randBlock(seed)
+		ct := e.Encrypt(blk, c, p)
+		return e.Decrypt(blk, c, ct) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	e := MustNewEngine(key)
+	p := randBlock(1)
+	ct := e.Encrypt(7, ctr.Counter{Minor: 1}, p)
+	if ct == p {
+		t.Fatal("ciphertext equals plaintext")
+	}
+}
+
+func TestTemporalUniqueness(t *testing.T) {
+	// Same block, same plaintext, different counters → different ciphertext.
+	e := MustNewEngine(key)
+	p := randBlock(2)
+	a := e.Encrypt(7, ctr.Counter{Minor: 1}, p)
+	b := e.Encrypt(7, ctr.Counter{Minor: 2}, p)
+	c := e.Encrypt(7, ctr.Counter{Major: 1, Minor: 1}, p)
+	if a == b || a == c || b == c {
+		t.Fatal("pad reuse across counters")
+	}
+}
+
+func TestSpatialUniqueness(t *testing.T) {
+	// Same counter, same plaintext, different addresses → different ciphertext.
+	e := MustNewEngine(key)
+	p := randBlock(3)
+	a := e.Encrypt(7, ctr.Counter{Minor: 1}, p)
+	b := e.Encrypt(8, ctr.Counter{Minor: 1}, p)
+	if a == b {
+		t.Fatal("pad reuse across addresses")
+	}
+}
+
+func TestWrongCounterGarbles(t *testing.T) {
+	// Decrypting with a stale counter must NOT return the plaintext —
+	// the root cause of the "wrong plaintext" rows of Table I.
+	e := MustNewEngine(key)
+	p := randBlock(4)
+	ct := e.Encrypt(7, ctr.Counter{Minor: 5}, p)
+	got := e.Decrypt(7, ctr.Counter{Minor: 4}, ct)
+	if got == p {
+		t.Fatal("stale counter recovered correct plaintext")
+	}
+}
+
+func TestSubBlockPadsDiffer(t *testing.T) {
+	// Encrypting all-zero plaintext exposes the raw pad; its four 16B
+	// sub-pads must be distinct.
+	e := MustNewEngine(key)
+	var zero [BlockBytes]byte
+	ct := e.Encrypt(3, ctr.Counter{Minor: 9}, zero)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if bytes.Equal(ct[i*16:(i+1)*16], ct[j*16:(j+1)*16]) {
+				t.Fatalf("sub-pads %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestKeyMatters(t *testing.T) {
+	e1 := MustNewEngine(key)
+	e2 := MustNewEngine([]byte("fedcba9876543210"))
+	p := randBlock(5)
+	if e1.Encrypt(1, ctr.Counter{Minor: 1}, p) == e2.Encrypt(1, ctr.Counter{Minor: 1}, p) {
+		t.Fatal("different keys produced identical ciphertext")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	e := MustNewEngine(key)
+	p := randBlock(6)
+	a := e.Encrypt(9, ctr.Counter{Major: 2, Minor: 3}, p)
+	b := e.Encrypt(9, ctr.Counter{Major: 2, Minor: 3}, p)
+	if a != b {
+		t.Fatal("encryption not deterministic")
+	}
+}
+
+func TestPadsGeneratedStat(t *testing.T) {
+	e := MustNewEngine(key)
+	e.Encrypt(1, ctr.Counter{}, randBlock(7))
+	if e.PadsGenerated != 4 {
+		t.Fatalf("PadsGenerated = %d, want 4", e.PadsGenerated)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	e := MustNewEngine(key)
+	p := randBlock(8)
+	for i := 0; i < b.N; i++ {
+		_ = e.Encrypt(addr.Block(i), ctr.Counter{Minor: uint8(i) & 0x7f}, p)
+	}
+	b.SetBytes(BlockBytes)
+}

@@ -1,0 +1,498 @@
+// Package engine is the timing simulator: it runs a synthetic
+// benchmark trace against one of the paper's six evaluated schemes
+// (Table IV) and reports execution cycles and persist statistics.
+//
+// The model is timestamp-based (see internal/sim.Resource): the core
+// advances by instruction gaps at the benchmark's baseline IPC, and
+// every persist walks the machine's shared resources — WPQ entries,
+// metadata caches, MAC units, BMT levels, NVM banks — computing
+// completion times. Stalls arise from the persist-ordering rules each
+// scheme imposes:
+//
+//	secure_WB   write-back baseline; LLC dirty evictions update the
+//	            BMT sequentially; no persistency guarantees.
+//	unordered   write-through but Invariant 2 unenforced (≈ Triad-NVM):
+//	            BMT paths update with full overlap, roots unordered.
+//	sp          strict persistency, sequential leaf-to-root updates;
+//	            the core stalls until each persist's root completes.
+//	pipeline    strict persistency with the PTT's in-order pipelined
+//	            updates (PLP mechanism 1).
+//	o3          epoch persistency with intra-epoch out-of-order updates
+//	            and cross-epoch pipelining via the ETT (PLP mechanism 2).
+//	coalescing  o3 plus paired LCA coalescing (PLP mechanism 3).
+//	sgxtree     extension (§IV-D): an SGX-style counter tree where the
+//	            whole leaf-to-root path must persist per store.
+package engine
+
+import (
+	"fmt"
+
+	"plp/internal/addr"
+	"plp/internal/bmt"
+	"plp/internal/cache"
+	"plp/internal/hier"
+	"plp/internal/layout"
+	"plp/internal/mac"
+	"plp/internal/nvm"
+	"plp/internal/sim"
+	"plp/internal/stats"
+	"plp/internal/trace"
+	"plp/internal/wpq"
+)
+
+// Scheme selects the persist mechanism under evaluation.
+type Scheme string
+
+// The evaluated schemes (paper Table IV plus the §IV-D extension).
+const (
+	SchemeSecureWB   Scheme = "secure_WB"
+	SchemeUnordered  Scheme = "unordered"
+	SchemeSP         Scheme = "sp"
+	SchemePipeline   Scheme = "pipeline"
+	SchemeO3         Scheme = "o3"
+	SchemeCoalescing Scheme = "coalescing"
+	SchemeSGXTree    Scheme = "sgxtree"
+	// SchemeColocated models the prior-work approach the paper argues
+	// is insufficient (§II: Swami et al., Liu et al.): data, counter,
+	// and MAC co-located in one line so the non-tree tuple items
+	// persist atomically with a single NVM write and no metadata
+	// fetches — but the BMT root ordering obligation remains, so the
+	// sequential leaf-to-root update still dominates.
+	SchemeColocated Scheme = "colocated"
+)
+
+// Schemes lists the paper's six evaluated schemes in Table IV order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeSecureWB, SchemeUnordered, SchemeSP,
+		SchemePipeline, SchemeO3, SchemeCoalescing}
+}
+
+// Config parameterizes one simulation. Zero fields take the paper's
+// Table III defaults.
+type Config struct {
+	Scheme       Scheme
+	Instructions uint64 // run length (instructions)
+	// Warmup runs this many instructions through the caches before the
+	// measured region, without timing — standard simulator practice to
+	// exclude cold-start transients. Default 0.
+	Warmup uint64
+
+	MACLatency   sim.Cycle // MAC computation latency, processor cycles
+	macLatIsZero bool      // distinguishes explicit 0 from default
+	BMTLevels    int
+	WPQEntries   int
+	PTTEntries   int
+	ETTSlots     int
+	EpochSize    int // persistent stores per epoch
+
+	CtrCacheKB int
+	MACCacheKB int
+	BMTCacheKB int
+	MDCWays    int
+	LLCKB      int
+	LLCWays    int
+
+	// IdealMDC models the paper's ideal metadata cache study (Fig. 9):
+	// infinite metadata caches that never miss and a zero-cycle MAC.
+	IdealMDC bool
+	// ChainedCoalescing upgrades the coalescing scheme from the
+	// paper's paired hardware policy to the idealized chained (union)
+	// policy of Fig. 5 — the optimum the paper deems too costly for
+	// hardware. Ablation only.
+	ChainedCoalescing bool
+	// ReadVerification additionally models the load-side verification
+	// traffic: data cache misses fetch from NVM, pull counters and
+	// MACs, and walk the BMT up to the first cached (verified) node,
+	// on a dedicated verification MAC unit. Per §VI this is overlapped
+	// with data use, so it affects occupancy, not core stalls. Ablation
+	// only, and meaningful only for cache-resident load streams — the
+	// ThrashLLC profiles' loads are worst-case LLC pressure generators
+	// with 100% miss rates, which saturate any read path by design.
+	ReadVerification bool
+	// FullMemory persists stack stores too ("_full" configurations).
+	FullMemory bool
+	// DebugEpochs prints scheduling detail for the first N epochs.
+	DebugEpochs int
+	// FlushCyclesPerLine is the on-chip cost of draining one dirty
+	// line from the cache hierarchy to the WPQ at an epoch boundary
+	// (the sfence drain the core observes under epoch persistency).
+	FlushCyclesPerLine int
+
+	NVM nvm.Config
+}
+
+// WithMACLatency returns cfg with an explicit MAC latency (required to
+// express the Fig. 9 zero-latency point, since 0 means "default").
+func (c Config) WithMACLatency(lat sim.Cycle) Config {
+	c.MACLatency = lat
+	c.macLatIsZero = lat == 0
+	return c
+}
+
+func (c *Config) fill() {
+	if c.Scheme == "" {
+		c.Scheme = SchemeSecureWB
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 10_000_000
+	}
+	if c.MACLatency == 0 && !c.macLatIsZero {
+		c.MACLatency = 40
+	}
+	if c.BMTLevels == 0 {
+		c.BMTLevels = 9
+	}
+	if c.WPQEntries == 0 {
+		c.WPQEntries = 32
+	}
+	if c.PTTEntries == 0 {
+		c.PTTEntries = 64
+	}
+	if c.ETTSlots == 0 {
+		c.ETTSlots = 2
+	}
+	if c.EpochSize == 0 {
+		c.EpochSize = 32
+	}
+	if c.FlushCyclesPerLine == 0 {
+		c.FlushCyclesPerLine = 4
+	}
+	if c.CtrCacheKB == 0 {
+		c.CtrCacheKB = 128
+	}
+	if c.MACCacheKB == 0 {
+		c.MACCacheKB = 128
+	}
+	if c.BMTCacheKB == 0 {
+		c.BMTCacheKB = 128
+	}
+	if c.MDCWays == 0 {
+		c.MDCWays = 8
+	}
+	if c.LLCKB == 0 {
+		c.LLCKB = 4096
+	}
+	if c.LLCWays == 0 {
+		c.LLCWays = 32
+	}
+}
+
+// Result reports one simulation's outcome.
+type Result struct {
+	Scheme Scheme
+	Bench  string
+
+	Instructions uint64
+	Cycles       sim.Cycle
+	IPC          float64
+
+	Persists uint64  // tuple persists performed
+	PPKI     float64 // persists per kilo-instruction
+	Epochs   uint64
+
+	BMTNodeUpdates   uint64
+	BMTUpdatesNoCoal uint64 // what a non-coalescing scheme would do
+	Writebacks       uint64 // LLC dirty evictions (secure_WB)
+
+	WPQStalls  sim.Cycle
+	SlotStalls sim.Cycle
+
+	CtrHitRate float64
+	MACHitRate float64
+	BMTHitRate float64
+
+	NVMReads, NVMWrites uint64
+
+	// PersistLatency distributes each persist's latency from WPQ
+	// admission to root-update completion (cycles).
+	PersistLatency stats.Histogram
+}
+
+// CoalescingReduction is the fraction of BMT node updates removed.
+func (r Result) CoalescingReduction() float64 {
+	if r.BMTUpdatesNoCoal == 0 {
+		return 0
+	}
+	return 1 - float64(r.BMTNodeUpdates)/float64(r.BMTUpdatesNoCoal)
+}
+
+// machine bundles the shared hardware models of one run.
+type machine struct {
+	cfg  Config
+	topo *bmt.Topology
+
+	macPipe   sim.Resource // shared pipelined MAC units (OOO schemes)
+	macVerify sim.Resource // dedicated verification MAC unit (read path)
+
+	ctrCache *cache.Cache
+	macCache *cache.Cache
+	bmtCache *cache.Cache
+	// data is the Table III L1/L2/LLC write-back hierarchy; only the
+	// secure_WB baseline exercises it (write-through schemes bypass it
+	// for stores, and EP schemes track epochs directly).
+	data *hier.Hierarchy
+
+	mem *nvm.Memory
+	q   *wpq.Queue
+	lay layout.Layout
+	// aliasBlocks folds the trace's address space onto the layout when
+	// an ablation shrinks the tree below full coverage (addresses
+	// alias, which is harmless for timing).
+	aliasBlocks uint64
+
+	// lastWrite implements write merging in the memory controller's
+	// write queue: a line rewritten while its previous write is still
+	// queued coalesces instead of consuming write bandwidth.
+	lastWrite map[uint64]sim.Cycle
+}
+
+// mergeWindow approximates write-queue residency for write merging.
+const mergeWindow sim.Cycle = 1000
+
+const kb = 1024
+
+func newMachine(cfg Config) *machine {
+	m := &machine{
+		cfg:       cfg,
+		topo:      bmt.MustNewTopology(cfg.BMTLevels, 8),
+		mem:       nvm.New(cfg.NVM),
+		q:         wpq.New(cfg.WPQEntries),
+		lastWrite: make(map[uint64]sim.Cycle),
+	}
+	m.macPipe = sim.Resource{Latency: cfg.MACLatency, Initiation: 1}
+	m.macVerify = sim.Resource{Latency: cfg.MACLatency, Initiation: 1}
+	mdc := func(name string, kbs int) *cache.Cache {
+		return cache.MustNew(cache.Config{
+			Name: name, SizeBytes: kbs * kb, LineBytes: addr.BlockBytes,
+			Ways: cfg.MDCWays, Policy: cache.WriteBack,
+		})
+	}
+	m.ctrCache = mdc("ctr", cfg.CtrCacheKB)
+	m.macCache = mdc("mac", cfg.MACCacheKB)
+	m.bmtCache = mdc("bmt", cfg.BMTCacheKB)
+	m.data = hier.Default(cfg.LLCKB, cfg.LLCWays)
+	m.aliasBlocks = uint64(trace.TotalBlocks)
+	if covered := m.topo.Leaves() * addr.BlocksPerPage; m.aliasBlocks > covered {
+		m.aliasBlocks = covered
+	}
+	m.lay = layout.MustNew(m.aliasBlocks, m.topo)
+	return m
+}
+
+// leafOf maps a data block to its BMT leaf label (one leaf per
+// encryption page).
+func (m *machine) leafOf(b addr.Block) bmt.Label {
+	return m.topo.LeafLabel(uint64(addr.PageOfBlock(b)) % m.topo.Leaves())
+}
+
+// bmtLine maps a node label to its BMT-cache line (eight 8-byte node
+// hashes per 64-byte line).
+func bmtLine(l bmt.Label) cache.Line { return cache.Line(uint64(l) / 8) }
+
+// aliasBlock folds a data block onto the covered address range.
+func (m *machine) aliasBlock(b addr.Block) addr.Block {
+	return addr.Block(uint64(b) % m.aliasBlocks)
+}
+
+// nodeUpdate models one BMT node update: fetch the node on a BMT-cache
+// miss, then recompute its MAC. Used by the schemes whose levels have
+// dedicated MAC stages (sequential walks and the PTT pipeline).
+func (m *machine) nodeUpdate(label bmt.Label, start sim.Cycle) sim.Cycle {
+	if m.cfg.IdealMDC {
+		return start // free metadata, zero-latency MAC
+	}
+	ready := start
+	if !m.bmtCache.Access(bmtLine(label), true) {
+		ready = m.mem.Read(m.lay.BMTLine(label), ready)
+	}
+	return ready + m.cfg.MACLatency
+}
+
+// nodeUpdatePiped is nodeUpdate through the shared pipelined MAC units
+// (OOO schemes: one new MAC may start each cycle).
+func (m *machine) nodeUpdatePiped(label bmt.Label, start sim.Cycle) sim.Cycle {
+	if m.cfg.IdealMDC {
+		return start
+	}
+	ready := start
+	if !m.bmtCache.Access(bmtLine(label), true) {
+		ready = m.mem.Read(m.lay.BMTLine(label), ready)
+	}
+	_, done := m.macPipe.Acquire(ready)
+	return done
+}
+
+// metaFetch performs the counter- and MAC-cache accesses of one
+// persist; the returned time is when the persist's leaf update can
+// begin (the counter block must be on chip).
+func (m *machine) metaFetch(b addr.Block, ready sim.Cycle) sim.Cycle {
+	if m.cfg.IdealMDC {
+		return ready
+	}
+	ab := m.aliasBlock(b)
+	if !m.ctrCache.Access(cache.Line(addr.PageOfBlock(b)), true) {
+		ready = m.mem.Read(m.lay.CtrLine(addr.PageOfBlock(ab)), ready)
+	}
+	if !m.macCache.Access(cache.Line(mac.BlockOf(b)), true) {
+		// The MAC block fetch overlaps the BMT walk; it delays neither
+		// the leaf update nor (in practice) the root, so only occupancy
+		// is modelled.
+		m.mem.Read(m.lay.MACLine(ab), ready)
+	}
+	return ready
+}
+
+// mergedWrite schedules an NVM write of the given line unless a write
+// to the same line is still resident in the write queue (write
+// merging). It returns the line's drain time.
+func (m *machine) mergedWrite(line uint64, at sim.Cycle) sim.Cycle {
+	if last, ok := m.lastWrite[line]; ok && at < last+mergeWindow {
+		return last // coalesced with the queued write
+	}
+	done := m.mem.Write(line, at)
+	m.lastWrite[line] = done
+	return done
+}
+
+// persistWrites schedules the NVM writes of a completed persist
+// (ciphertext, counter block, MAC block), returning the drain time of
+// the latest. The WPQ sits inside the ADR persist domain (§II), so
+// entries release at persist completion; the drain is background
+// traffic. The metadata layout keeps data, counter, and MAC lines in
+// disjoint NVM regions, so they never merge with one another.
+func (m *machine) persistWrites(b addr.Block, at sim.Cycle) sim.Cycle {
+	ab := m.aliasBlock(b)
+	d1 := m.mergedWrite(m.lay.DataLine(ab), at)
+	d2 := m.mergedWrite(m.lay.CtrLine(addr.PageOfBlock(ab)), at)
+	d3 := m.mergedWrite(m.lay.MACLine(ab), at)
+	done := d1
+	if d2 > done {
+		done = d2
+	}
+	if d3 > done {
+		done = d3
+	}
+	return done
+}
+
+// warm streams instructions through the data hierarchy and counter
+// cache without timing, populating them before the measured region.
+func (m *machine) warm(src trace.Source, instrs uint64) {
+	for src.Progress() < instrs {
+		op := src.Next()
+		m.data.Access(cache.Line(op.Block), op.Kind == trace.OpStore)
+		if !m.cfg.IdealMDC {
+			m.ctrCache.Access(cache.Line(addr.PageOfBlock(op.Block)), false)
+		}
+	}
+}
+
+// loadAccess models the metadata-side work of a load: counters are
+// needed for decryption (off the critical path, §VI, so only cache
+// occupancy is modelled).
+func (m *machine) loadAccess(b addr.Block) {
+	if m.cfg.IdealMDC {
+		return
+	}
+	m.ctrCache.Access(cache.Line(addr.PageOfBlock(b)), false)
+}
+
+// verifyRead models the load-side verification *traffic* when
+// Config.ReadVerification is set: a data-hierarchy miss fetches the
+// block, its counter and MAC (when not cached), and the uncached
+// prefix of its BMT path, each fetch MAC-checked on a dedicated
+// verification unit. Per §VI verification is overlapped with data use,
+// so nothing here stalls the core or the update path: the ablation
+// quantifies NVM read traffic and verification-engine occupancy.
+// Metadata caches are consulted without allocation so the persist
+// side's working set (and the paper's calibration) is undisturbed —
+// the traffic reported is therefore an upper bound.
+func (m *machine) verifyRead(b addr.Block, at sim.Cycle) {
+	depth := m.data.Access(cache.Line(b), false)
+	if depth < len(m.data.Levels()) {
+		return // cache hit: verified long ago
+	}
+	// All fetches of the verification flow issue independently at the
+	// load time (the memory controller pipelines them); what matters
+	// here is occupancy, not the serialized verification latency, which
+	// is hidden behind data use anyway.
+	ab := m.aliasBlock(b)
+	m.mem.Read(m.lay.DataLine(ab), at)
+	if m.cfg.IdealMDC {
+		return
+	}
+	if !m.ctrCache.Contains(cache.Line(addr.PageOfBlock(b))) {
+		m.mem.Read(m.lay.CtrLine(addr.PageOfBlock(ab)), at)
+	}
+	if !m.macCache.Contains(cache.Line(mac.BlockOf(b))) {
+		m.mem.Read(m.lay.MACLine(ab), at)
+	}
+	// Data MAC check on the verification unit.
+	m.macVerify.Acquire(at)
+	// Tree walk up to the first cached (already verified) node.
+	for _, label := range m.topo.UpdatePath(m.leafOf(b)) {
+		if m.bmtCache.Contains(bmtLine(label)) {
+			break
+		}
+		m.mem.Read(m.lay.BMTLine(label), at)
+		m.macVerify.Acquire(at)
+	}
+}
+
+// Run simulates profile prof under cfg.
+func Run(cfg Config, prof trace.Profile) Result {
+	return RunSource(cfg, prof.Name, prof.IPC, trace.NewGenerator(prof))
+}
+
+// RunSource simulates an arbitrary operation stream (a synthetic
+// generator or a recorded trace) under cfg. ipc is the baseline core
+// IPC of the traced workload.
+func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
+	cfg.fill()
+	if ipc <= 0 {
+		ipc = 1
+	}
+	m := newMachine(cfg)
+	var res Result
+	res.Scheme = cfg.Scheme
+	res.Bench = bench
+
+	if cfg.Warmup > 0 {
+		m.warm(src, cfg.Warmup)
+		m.cfg.Instructions += cfg.Warmup
+	}
+
+	switch cfg.Scheme {
+	case SchemeSecureWB:
+		runSecureWB(m, src, ipc, &res)
+	case SchemeUnordered:
+		runUnordered(m, src, ipc, &res)
+	case SchemeSP, SchemeSGXTree, SchemeColocated:
+		runSP(m, src, ipc, &res)
+	case SchemePipeline:
+		runPipeline(m, src, ipc, &res)
+	case SchemeO3, SchemeCoalescing:
+		runEpoch(m, src, ipc, &res)
+	default:
+		panic(fmt.Sprintf("engine: unknown scheme %q", cfg.Scheme))
+	}
+
+	res.Instructions = m.cfg.Instructions - cfg.Warmup
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	res.PPKI = float64(res.Persists) / (float64(res.Instructions) / 1000)
+	res.WPQStalls = m.q.FullStalls
+	res.CtrHitRate = m.ctrCache.Stats.HitRate()
+	res.MACHitRate = m.macCache.Stats.HitRate()
+	res.BMTHitRate = m.bmtCache.Stats.HitRate()
+	res.NVMReads = m.mem.Reads
+	res.NVMWrites = m.mem.Writes
+	return res
+}
+
+// mustPersist reports whether a store persists under the protection
+// mode (all stores in full-memory mode; non-stack stores otherwise).
+func (cfg Config) mustPersist(op trace.Op) bool {
+	return op.Kind == trace.OpStore && (cfg.FullMemory || !op.Stack)
+}

@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"plp/internal/addr"
+	"plp/internal/bmt"
+	"plp/internal/cache"
+	"plp/internal/ett"
+	"plp/internal/ptt"
+	"plp/internal/sim"
+	"plp/internal/trace"
+)
+
+func cyc(t float64) sim.Cycle {
+	if t < 0 {
+		return 0
+	}
+	return sim.Cycle(t)
+}
+
+func maxf(a float64, b sim.Cycle) float64 {
+	if fb := float64(b); fb > a {
+		return fb
+	}
+	return a
+}
+
+// pathCost returns a ptt.LevelCost walking blk's update path with the
+// given per-node update function.
+func (m *machine) pathCost(blk addr.Block, node func(bmt.Label, sim.Cycle) sim.Cycle) ptt.LevelCost {
+	path := m.topo.UpdatePath(m.leafOf(blk)) // leaf (level L) first
+	levels := m.topo.Levels()
+	return func(lvl int, start sim.Cycle) sim.Cycle {
+		return node(path[levels-lvl], start)
+	}
+}
+
+// runSecureWB models the baseline: write-back caches, no persistency.
+// LLC dirty evictions are the only persists; each performs a
+// sequential leaf-to-root BMT update in the integrity engine.
+func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
+	gen := src
+	cpi := 1 / ipc
+	coreTime := 0.0
+	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
+
+	m.data.OnMemWriteback = func(line cache.Line) {
+		blk := addr.Block(line)
+		grant := m.q.Admit(cyc(coreTime))
+		// A full WPQ back-pressures the eviction, which sits on the
+		// miss fill path: the core observes the stall.
+		coreTime = maxf(coreTime, grant)
+		start := m.metaFetch(blk, grant)
+		done := tab.SequentialPersist(start, m.pathCost(blk, m.nodeUpdate))
+		m.persistWrites(blk, done)
+		m.q.Occupy(done)
+		res.PersistLatency.Add(uint64(done - grant))
+		res.Persists++
+		res.Writebacks++
+		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+	}
+
+	for gen.Progress() < m.cfg.Instructions {
+		op := gen.Next()
+		coreTime += float64(op.Gap+1) * cpi
+		if op.Kind == trace.OpLoad {
+			if m.cfg.ReadVerification {
+				m.verifyRead(op.Block, cyc(coreTime))
+			} else {
+				m.loadAccess(op.Block)
+				m.data.Access(cache.Line(op.Block), false)
+			}
+		} else {
+			m.data.Access(cache.Line(op.Block), true)
+		}
+	}
+	res.Cycles = cyc(coreTime)
+}
+
+// runUnordered models write-through persistence with Invariant 2
+// unenforced (≈ Triad-NVM): every persist's BMT path updates with
+// full overlap through the pipelined MAC units, and root updates are
+// not ordered, so persists never wait on one another — only on WPQ
+// space. Crash recovery is NOT guaranteed (Table II).
+func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
+	gen := src
+	cpi := 1 / ipc
+	coreTime := 0.0
+	// The pipelined MAC units sustain one node update per cycle, i.e.
+	// one whole path per BMTLevels cycles; with no ordering constraints
+	// that issue bandwidth is the only coupling between persists.
+	issue := sim.Resource{Initiation: sim.Cycle(m.cfg.BMTLevels)}
+
+	for gen.Progress() < m.cfg.Instructions {
+		op := gen.Next()
+		coreTime += float64(op.Gap+1) * cpi
+		if op.Kind == trace.OpLoad {
+			if m.cfg.ReadVerification {
+				m.verifyRead(op.Block, cyc(coreTime))
+			} else {
+				m.loadAccess(op.Block)
+			}
+			continue
+		}
+		if !m.cfg.mustPersist(op) {
+			continue
+		}
+		grant := m.q.Admit(cyc(coreTime))
+		coreTime = maxf(coreTime, grant)
+		start, _ := issue.Acquire(grant)
+		done := m.metaFetch(op.Block, start)
+		for _, label := range m.topo.UpdatePath(m.leafOf(op.Block)) {
+			done = m.nodeUpdate(label, done)
+		}
+		m.persistWrites(op.Block, done)
+		m.q.Occupy(done)
+		res.PersistLatency.Add(uint64(done - grant))
+		res.Persists++
+		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+	}
+	res.Cycles = cyc(coreTime)
+}
+
+// runSP models strict persistency with the baseline 2SP mechanism:
+// each store's whole tuple — including the sequential leaf-to-root
+// BMT update — must persist before the next store may proceed, so the
+// core stalls for the full update (§IV-A1). SchemeSGXTree additionally
+// persists every node on the path (§IV-D).
+func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
+	gen := src
+	cpi := 1 / ipc
+	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
+	coreTime := 0.0
+	sgx := m.cfg.Scheme == SchemeSGXTree
+	colocated := m.cfg.Scheme == SchemeColocated
+
+	for gen.Progress() < m.cfg.Instructions {
+		op := gen.Next()
+		coreTime += float64(op.Gap+1) * cpi
+		if op.Kind == trace.OpLoad {
+			if m.cfg.ReadVerification {
+				m.verifyRead(op.Block, cyc(coreTime))
+			} else {
+				m.loadAccess(op.Block)
+			}
+			continue
+		}
+		if !m.cfg.mustPersist(op) {
+			continue
+		}
+		grant := m.q.Admit(cyc(coreTime))
+		start := grant
+		if !colocated {
+			start = m.metaFetch(op.Block, grant)
+		}
+		node := m.nodeUpdate
+		if sgx {
+			node = func(label bmt.Label, s sim.Cycle) sim.Cycle {
+				d := m.nodeUpdate(label, s)
+				// The counter-tree node itself must persist: its NVM
+				// write is on the persist's critical path.
+				return m.mem.Write(m.lay.BMTLine(label), d)
+			}
+		}
+		done := tab.SequentialPersist(start, m.pathCost(op.Block, node))
+		if colocated {
+			// One co-located line carries data+counter+MAC.
+			m.mergedWrite(m.lay.DataLine(m.aliasBlock(op.Block)), done)
+		} else {
+			m.persistWrites(op.Block, done)
+		}
+		m.q.Occupy(done)
+		coreTime = maxf(coreTime, done) // strict: store blocks the core
+		res.PersistLatency.Add(uint64(done - grant))
+		res.Persists++
+		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+	}
+	res.Cycles = cyc(coreTime)
+}
+
+// runPipeline models PLP mechanism 1: strict persistency with the
+// PTT's in-order pipelined BMT updates. The core no longer waits for
+// each root update; it stalls only when the WPQ fills (sustained
+// throughput: one persist per MAC latency).
+func runPipeline(m *machine, src trace.Source, ipc float64, res *Result) {
+	gen := src
+	cpi := 1 / ipc
+	coreTime := 0.0
+	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
+
+	for gen.Progress() < m.cfg.Instructions {
+		op := gen.Next()
+		coreTime += float64(op.Gap+1) * cpi
+		if op.Kind == trace.OpLoad {
+			if m.cfg.ReadVerification {
+				m.verifyRead(op.Block, cyc(coreTime))
+			} else {
+				m.loadAccess(op.Block)
+			}
+			continue
+		}
+		if !m.cfg.mustPersist(op) {
+			continue
+		}
+		grant := m.q.Admit(cyc(coreTime))
+		start := m.metaFetch(op.Block, grant)
+		leafStart, done := tab.Persist(start, m.pathCost(op.Block, m.nodeUpdate))
+		m.persistWrites(op.Block, done)
+		m.q.Occupy(done)
+		// Under strict persistency the store holds the front of the
+		// persist order until it enters the pipeline's leaf stage.
+		coreTime = maxf(coreTime, leafStart)
+		res.PersistLatency.Add(uint64(done - grant))
+		res.Persists++
+		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+	}
+	res.Cycles = cyc(coreTime)
+}
+
+// runEpoch models epoch persistency (PLP mechanisms 2 and 3): stores
+// buffer in the write-back cache during an epoch; at the epoch
+// boundary the epoch's distinct dirty blocks persist with out-of-order
+// intra-epoch updates (and optional paired LCA coalescing), pipelined
+// across epochs by the ETT.
+func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
+	gen := src
+	cpi := 1 / ipc
+	coreTime := 0.0
+	policy := ett.PolicyNone
+	if m.cfg.Scheme == SchemeCoalescing {
+		policy = ett.PolicyPaired
+		if m.cfg.ChainedCoalescing {
+			policy = ett.PolicyChained
+		}
+	}
+	sched := ett.NewScheduler(m.topo, m.cfg.ETTSlots, policy)
+
+	var blocks []addr.Block
+	inEpoch := make(map[addr.Block]struct{}, m.cfg.EpochSize)
+	storesInEpoch := 0
+
+	flush := func() {
+		if len(blocks) == 0 {
+			storesInEpoch = 0
+			return
+		}
+		// The sfence drains the epoch's dirty lines through the on-chip
+		// hierarchy into the WPQ; the core observes the drain.
+		coreTime += float64(len(blocks) * m.cfg.FlushCyclesPerLine)
+		ready := cyc(coreTime)
+		// WPQ entries for every persist of the epoch.
+		grant := ready
+		for range blocks {
+			if g := m.q.Admit(ready); g > grant {
+				grant = g
+			}
+		}
+		leaves := make([]bmt.Label, len(blocks))
+		leafReady := make([]sim.Cycle, len(blocks))
+		for i, blk := range blocks {
+			leaves[i] = m.leafOf(blk)
+			leafReady[i] = m.metaFetch(blk, grant)
+		}
+		levels := m.cfg.BMTLevels
+		cost := func(pi, lvl int, start sim.Cycle) sim.Cycle {
+			if lvl == levels && leafReady[pi] > start {
+				start = leafReady[pi] // counter block must be on chip
+			}
+			return m.nodeUpdatePiped(m.topo.AncestorAtLevel(leaves[pi], lvl), start)
+		}
+		admitted, done, perDone := sched.ScheduleEpoch(grant, leaves, cost)
+		if res.Epochs < uint64(m.cfg.DebugEpochs) {
+			println("epoch", int(res.Epochs), "n", len(blocks), "core", int(cyc(coreTime)),
+				"grant", int(grant), "admitted", int(admitted), "done", int(done))
+		}
+		for i, blk := range blocks {
+			m.persistWrites(blk, perDone[i])
+			m.q.Occupy(perDone[i])
+			res.PersistLatency.Add(uint64(perDone[i] - grant))
+		}
+		// The core waits at the epoch boundary only for an ETT slot.
+		coreTime = maxf(coreTime, admitted)
+		res.Persists += uint64(len(blocks))
+		res.Epochs++
+		blocks = blocks[:0]
+		for k := range inEpoch {
+			delete(inEpoch, k)
+		}
+		storesInEpoch = 0
+	}
+
+	for gen.Progress() < m.cfg.Instructions {
+		op := gen.Next()
+		coreTime += float64(op.Gap+1) * cpi
+		if op.Kind == trace.OpLoad {
+			if m.cfg.ReadVerification {
+				m.verifyRead(op.Block, cyc(coreTime))
+			} else {
+				m.loadAccess(op.Block)
+			}
+			continue
+		}
+		if !m.cfg.mustPersist(op) {
+			continue
+		}
+		storesInEpoch++
+		if _, dup := inEpoch[op.Block]; !dup {
+			inEpoch[op.Block] = struct{}{}
+			blocks = append(blocks, op.Block)
+		}
+		if storesInEpoch >= m.cfg.EpochSize {
+			flush()
+		}
+	}
+	flush()
+	res.Cycles = cyc(coreTime)
+	res.Epochs = sched.Epochs
+	res.BMTNodeUpdates = sched.NodeUpdates
+	res.BMTUpdatesNoCoal = sched.UpdatesNoCoal
+	res.SlotStalls = sched.SlotStalls
+}

@@ -1,0 +1,273 @@
+package ett
+
+import (
+	"testing"
+
+	"plp/internal/bmt"
+	"plp/internal/sim"
+)
+
+func fixedCost(lat sim.Cycle) LevelCost {
+	return func(_, _ int, start sim.Cycle) sim.Cycle { return start + lat }
+}
+
+// fig5 builds the paper's Fig. 5 tree: 4 levels, binary.
+func fig5() *bmt.Topology { return bmt.MustNewTopology(4, 2) }
+
+// fig5Leaves returns X41, X42, X44 (δ1, δ2, δ3 of Fig. 5).
+func fig5Leaves(t *bmt.Topology) []bmt.Label {
+	return []bmt.Label{t.LeafLabel(0), t.LeafLabel(1), t.LeafLabel(3)}
+}
+
+// TestCoalescingFig5 reproduces the paper's Fig. 5 numbers: without
+// coalescing, 3 persists x 4 levels = 12 node updates; with (chained)
+// coalescing only 7, a 42% reduction.
+func TestCoalescingFig5(t *testing.T) {
+	topo := fig5()
+	leaves := fig5Leaves(topo)
+	if got := len(leaves) * topo.Levels(); got != 12 {
+		t.Fatalf("uncoalesced updates = %d, want 12", got)
+	}
+	if got := UnionNodeCount(topo, leaves); got != 7 {
+		t.Fatalf("coalesced updates = %d, want 7", got)
+	}
+	reduction := 1 - 7.0/12.0
+	if reduction < 0.41 || reduction > 0.42 {
+		t.Fatalf("reduction = %v, want ~42%%", reduction)
+	}
+}
+
+func TestPairedNodeCountFig5(t *testing.T) {
+	topo := fig5()
+	leaves := fig5Leaves(topo)
+	// Pair (δ1, δ2): LCA is X31 at level 3 → leader does 4-3 = 1
+	// update, trailer does 4. δ3 is unpaired → 4. Total 9.
+	if got := PairedNodeCount(topo, leaves); got != 9 {
+		t.Fatalf("paired updates = %d, want 9", got)
+	}
+}
+
+func TestPairedNodeCountSamePage(t *testing.T) {
+	topo := fig5()
+	l := topo.LeafLabel(2)
+	// Two persists to the same counter block: LCA is the leaf itself,
+	// leader contributes 0 updates.
+	if got := PairedNodeCount(topo, []bmt.Label{l, l}); got != topo.Levels() {
+		t.Fatalf("same-leaf pair updates = %d, want %d", got, topo.Levels())
+	}
+}
+
+func TestUnionNodeCountSingle(t *testing.T) {
+	topo := fig5()
+	if got := UnionNodeCount(topo, []bmt.Label{topo.LeafLabel(0)}); got != 4 {
+		t.Fatalf("single persist unions %d nodes", got)
+	}
+}
+
+func TestOOOWithinEpochOverlaps(t *testing.T) {
+	// Two independent persists in one epoch with a fat per-level cost:
+	// OOO means the epoch finishes in ~one path latency, not two.
+	topo := bmt.MustNewTopology(9, 8)
+	s := NewScheduler(topo, 2, PolicyNone)
+	leaves := []bmt.Label{topo.LeafLabel(0), topo.LeafLabel(1 << 20)}
+	_, done, _ := s.ScheduleEpoch(0, leaves, fixedCost(40))
+	if done != 9*40 {
+		t.Fatalf("epoch done = %d, want %d (full overlap)", done, 9*40)
+	}
+}
+
+func TestCrossEpochLevelGates(t *testing.T) {
+	// Epoch 2's update of a level must not begin before epoch 1's last
+	// update of that level. With one persist each and fixed cost, epoch
+	// 2 finishes exactly one stage after epoch 1 (pipelined epochs).
+	topo := bmt.MustNewTopology(9, 8)
+	s := NewScheduler(topo, 2, PolicyNone)
+	_, d1, _ := s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(0)}, fixedCost(40))
+	_, d2, _ := s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(99)}, fixedCost(40))
+	if d1 != 360 {
+		t.Fatalf("d1 = %d", d1)
+	}
+	if d2 != 400 {
+		t.Fatalf("d2 = %d, want 400 (one stage after epoch 1)", d2)
+	}
+}
+
+func TestEpochSlotBackpressure(t *testing.T) {
+	// With 2 slots, epoch 3 cannot begin before epoch 1 completes.
+	topo := bmt.MustNewTopology(4, 8)
+	s := NewScheduler(topo, 2, PolicyNone)
+	_, d1, _ := s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(0)}, fixedCost(100))
+	s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(1)}, fixedCost(100))
+	s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(2)}, fixedCost(100))
+	if s.SlotStalls == 0 {
+		t.Fatal("no slot stalls recorded")
+	}
+	_ = d1
+}
+
+func TestRootOrderAcrossEpochs(t *testing.T) {
+	// Root completions must be monotone across epochs even if a later
+	// epoch is much cheaper.
+	topo := bmt.MustNewTopology(6, 8)
+	s := NewScheduler(topo, 2, PolicyNone)
+	slow := func(_, lvl int, start sim.Cycle) sim.Cycle {
+		if lvl == 6 {
+			return start + 2000 // miss at leaf level
+		}
+		return start + 40
+	}
+	_, d1, _ := s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(0)}, slow)
+	_, d2, _ := s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(1)}, fixedCost(1))
+	if d2 <= d1-6 { // root gate ensures d2 >= d1's root time
+		t.Fatalf("epoch 2 root (%d) ran ahead of epoch 1 (%d)", d2, d1)
+	}
+}
+
+func TestCoalescingReducesNodeUpdates(t *testing.T) {
+	topo := bmt.MustNewTopology(9, 8)
+	s := NewScheduler(topo, 2, PolicyPaired)
+	// Sibling leaves: deep LCAs → big savings.
+	leaves := []bmt.Label{
+		topo.LeafLabel(0), topo.LeafLabel(1),
+		topo.LeafLabel(8), topo.LeafLabel(9),
+	}
+	s.ScheduleEpoch(0, leaves, fixedCost(40))
+	if s.NodeUpdates >= s.UpdatesNoCoal {
+		t.Fatalf("no reduction: %d vs %d", s.NodeUpdates, s.UpdatesNoCoal)
+	}
+	if r := s.CoalescingReduction(); r <= 0 || r >= 1 {
+		t.Fatalf("reduction = %v", r)
+	}
+}
+
+func TestCoalescingTrailingWaitsForLeader(t *testing.T) {
+	// The trailing persist's LCA update must wait for the leader to
+	// finish below the LCA; with a slow leader the pair completes after
+	// the leader's sub-path.
+	topo := bmt.MustNewTopology(4, 2)
+	s := NewScheduler(topo, 2, PolicyPaired)
+	leaves := []bmt.Label{topo.LeafLabel(0), topo.LeafLabel(1)} // LCA level 3
+	leaderSlow := func(pi, lvl int, start sim.Cycle) sim.Cycle {
+		if pi == 0 {
+			return start + 500 // leader's leaf update very slow
+		}
+		return start + 10
+	}
+	_, done, _ := s.ScheduleEpoch(0, leaves, leaderSlow)
+	// Trailer: leaf at 10; LCA must wait for leader (500); then levels
+	// 3,2,1 at 10 each → >= 500+30.
+	if done < 530 {
+		t.Fatalf("pair done = %d, trailing did not wait for leader", done)
+	}
+}
+
+func TestEmptyEpoch(t *testing.T) {
+	topo := bmt.MustNewTopology(4, 8)
+	s := NewScheduler(topo, 2, PolicyNone)
+	if _, done, _ := s.ScheduleEpoch(50, nil, fixedCost(40)); done != 50 {
+		t.Fatalf("empty epoch done = %d", done)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	topo := bmt.MustNewTopology(4, 8)
+	s := NewScheduler(topo, 2, PolicyNone)
+	s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(0), topo.LeafLabel(5)}, fixedCost(1))
+	if s.Epochs != 1 || s.Persists != 2 || s.NodeUpdates != 8 || s.UpdatesNoCoal != 8 {
+		t.Fatalf("stats: %+v", *s)
+	}
+}
+
+func TestSlotClamp(t *testing.T) {
+	topo := bmt.MustNewTopology(4, 8)
+	s := NewScheduler(topo, 0, PolicyNone)
+	if s.slots != 1 {
+		t.Fatalf("slots = %d", s.slots)
+	}
+}
+
+func TestCoalescingReductionZeroSafe(t *testing.T) {
+	topo := bmt.MustNewTopology(4, 8)
+	s := NewScheduler(topo, 2, PolicyPaired)
+	if s.CoalescingReduction() != 0 {
+		t.Fatal("empty scheduler reduction != 0")
+	}
+}
+
+func BenchmarkScheduleEpoch(b *testing.B) {
+	topo := bmt.MustNewTopology(9, 8)
+	s := NewScheduler(topo, 2, PolicyPaired)
+	leaves := make([]bmt.Label, 12)
+	for i := range leaves {
+		leaves[i] = topo.LeafLabel(uint64(i * 37))
+	}
+	c := fixedCost(40)
+	for i := 0; i < b.N; i++ {
+		s.ScheduleEpoch(0, leaves, c)
+	}
+}
+
+func TestChainedPolicyScheduling(t *testing.T) {
+	// Chained (union) coalescing: the Fig. 5 node set, each distinct
+	// node updated once, dependency-ordered.
+	topo := fig5()
+	s := NewScheduler(topo, 2, PolicyChained)
+	leaves := fig5Leaves(topo)
+	_, done, per := s.ScheduleEpoch(0, leaves, fixedCost(10))
+	if s.NodeUpdates != 7 {
+		t.Fatalf("chained node updates = %d, want 7 (Fig. 5)", s.NodeUpdates)
+	}
+	if s.UpdatesNoCoal != 12 {
+		t.Fatalf("baseline updates = %d, want 12", s.UpdatesNoCoal)
+	}
+	// Critical path: X41/X42/X44 at 10, X31/X32 wait for children,
+	// X21 waits for X31 and X32, root last: 4 dependency levels x 10.
+	if done != 40 {
+		t.Fatalf("epoch done = %d, want 40", done)
+	}
+	for i, d := range per {
+		if d != done {
+			t.Fatalf("persist %d completion %d != epoch done %d", i, d, done)
+		}
+	}
+}
+
+func TestChainedRespectsCrossEpochGates(t *testing.T) {
+	topo := bmt.MustNewTopology(4, 8)
+	s := NewScheduler(topo, 2, PolicyChained)
+	_, d1, _ := s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(0)}, fixedCost(40))
+	_, d2, _ := s.ScheduleEpoch(0, []bmt.Label{topo.LeafLabel(1)}, fixedCost(40))
+	if d2 <= d1 {
+		t.Fatalf("chained epochs out of order: %d <= %d", d2, d1)
+	}
+}
+
+func TestChainedDependencyOrdering(t *testing.T) {
+	// A slow leaf must delay the shared ancestor even when the other
+	// child finished long ago.
+	topo := bmt.MustNewTopology(3, 2)
+	s := NewScheduler(topo, 2, PolicyChained)
+	leaves := []bmt.Label{topo.LeafLabel(0), topo.LeafLabel(1)} // siblings
+	cost := func(pi, lvl int, start sim.Cycle) sim.Cycle {
+		if pi == 1 && lvl == 3 {
+			return start + 500
+		}
+		return start + 10
+	}
+	_, done, _ := s.ScheduleEpoch(0, leaves, cost)
+	// Parent waits for the slow child (500), then parent 10, root 10.
+	if done < 520 {
+		t.Fatalf("done = %d: shared ancestor ran before its child", done)
+	}
+}
+
+func TestReferenceDoneAccessor(t *testing.T) {
+	topo := bmt.MustNewTopology(3, 8)
+	eng := sim.NewEngine()
+	ref := NewReference(eng, topo, 2)
+	id := ref.AddEpoch(0, []LevelCost{fixedCost(10)})
+	ref.Run()
+	if ref.Done(id) != 30 {
+		t.Fatalf("Done(%d) = %d, want 30", id, ref.Done(id))
+	}
+}

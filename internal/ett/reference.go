@@ -1,0 +1,192 @@
+package ett
+
+import (
+	"plp/internal/bmt"
+	"plp/internal/sim"
+)
+
+// Reference is an event-driven model of the ETT (Fig. 7) for the o3
+// scheme (no coalescing), used to validate the batch timestamp
+// scheduler by differential testing. It implements the paper's
+// authorization rule literally: each BMT level is owned by one epoch
+// at a time; ownership of level l passes to the next epoch when every
+// persist of the owning epoch has moved past l. Within an epoch,
+// persists advance independently (out of order); across epochs, the
+// ETT's slot count bounds how many epochs are in flight.
+//
+// With pure per-level cost functions (no shared mutable resources in
+// the cost closure), Scheduler.ScheduleEpoch with PolicyNone and
+// Reference produce identical epoch completion times.
+type Reference struct {
+	eng    *sim.Engine
+	topo   *bmt.Topology
+	slots  int
+	levels int
+
+	// ownerDone[l-1] tracks, per level, the number of persists of the
+	// owning epoch that still must pass it, and the owning epoch index.
+	owner     []int // epoch index owning each level
+	remaining []int // persists of the owner yet to finish the level
+
+	epochs  []*refEpoch
+	started int // epochs admitted so far
+}
+
+type refEpoch struct {
+	idx      int
+	ready    sim.Cycle
+	persists []*refPersist
+	pending  int // persists not yet at the root
+	done     sim.Cycle
+	admitted bool
+	complete bool
+}
+
+type refPersist struct {
+	epoch *refEpoch
+	pi    int
+	lvl   int // current level being updated; levels+1 = not started
+	cost  LevelCost
+	busy  bool
+}
+
+// NewReference creates an event-driven ETT over eng.
+func NewReference(eng *sim.Engine, topo *bmt.Topology, slots int) *Reference {
+	if slots < 1 {
+		slots = 1
+	}
+	r := &Reference{
+		eng:       eng,
+		topo:      topo,
+		slots:     slots,
+		levels:    topo.Levels(),
+		owner:     make([]int, topo.Levels()),
+		remaining: make([]int, topo.Levels()),
+	}
+	for l := range r.owner {
+		r.owner[l] = -1 // no epoch owns any level yet
+	}
+	return r
+}
+
+// AddEpoch schedules an epoch that becomes ready at the given cycle
+// with one persist per cost entry (at least one). Epochs must be added
+// in order.
+func (r *Reference) AddEpoch(ready sim.Cycle, costs []LevelCost) int {
+	if len(costs) == 0 {
+		panic("ett: Reference epochs must have at least one persist")
+	}
+	idx := len(r.epochs)
+	e := &refEpoch{idx: idx, ready: ready, pending: len(costs)}
+	for pi, c := range costs {
+		e.persists = append(e.persists, &refPersist{epoch: e, pi: pi, lvl: r.levels + 1, cost: c})
+	}
+	r.epochs = append(r.epochs, e)
+	return idx
+}
+
+// Run executes all epochs and returns their completion times.
+func (r *Reference) Run() []sim.Cycle {
+	// Initialize ownership counts for epoch 0.
+	r.eng.Schedule(0, func() { r.tryAdmit() })
+	r.eng.Run(0)
+	out := make([]sim.Cycle, len(r.epochs))
+	for i, e := range r.epochs {
+		out[i] = e.done
+	}
+	return out
+}
+
+// tryAdmit admits the next epoch if a slot is free and its ready time
+// has arrived.
+func (r *Reference) tryAdmit() {
+	if r.started >= len(r.epochs) {
+		return
+	}
+	// Slot constraint: epoch e needs epoch e-slots complete.
+	if r.started >= r.slots && !r.epochs[r.started-r.slots].complete {
+		return
+	}
+	e := r.epochs[r.started]
+	if now := r.eng.Now(); now < e.ready {
+		r.eng.At(e.ready, r.tryAdmit)
+		return
+	}
+	r.started++
+	e.admitted = true
+	// Levels are claimed lazily in tryStart as ownership passes.
+	for _, p := range e.persists {
+		p.lvl = r.levels // about to update the leaf
+		r.tryStart(p)
+	}
+	r.eng.Schedule(0, r.tryAdmit)
+}
+
+// owns reports whether p's epoch currently owns level l, claiming
+// ownership if it may. Ownership passes strictly epoch to epoch, and
+// only once the previous owner's persists have all moved past l.
+func (r *Reference) owns(e *refEpoch, l int) bool {
+	if r.owner[l-1] == e.idx {
+		return true
+	}
+	if r.owner[l-1] == e.idx-1 && r.remaining[l-1] == 0 {
+		r.owner[l-1] = e.idx
+		r.remaining[l-1] = len(e.persists)
+		return true
+	}
+	return false
+}
+
+// tryStart begins p's update of its current level if authorized.
+func (r *Reference) tryStart(p *refPersist) {
+	if p.busy || p.lvl < 1 {
+		return
+	}
+	if !r.owns(p.epoch, p.lvl) {
+		return // woken when ownership passes
+	}
+	p.busy = true
+	finish := p.cost(p.pi, p.lvl, r.eng.Now())
+	r.eng.At(finish, func() {
+		p.busy = false
+		lvl := p.lvl
+		r.remaining[lvl-1]--
+		p.lvl--
+		if p.lvl < 1 {
+			// Root updated; persist retires.
+			p.epoch.pending--
+			if p.epoch.pending == 0 {
+				p.epoch.done = r.eng.Now()
+				p.epoch.complete = true
+				r.tryAdmit()
+			}
+		} else {
+			r.tryStart(p)
+		}
+		// Passing level lvl may grant ownership to the next epoch.
+		r.wakeLevel(lvl)
+	})
+}
+
+// wakeLevel retries persists of the next epoch blocked on level l.
+func (r *Reference) wakeLevel(l int) {
+	if r.remaining[l-1] != 0 {
+		return
+	}
+	nextIdx := r.owner[l-1] + 1
+	if nextIdx >= len(r.epochs) {
+		return
+	}
+	next := r.epochs[nextIdx]
+	if !next.admitted {
+		return
+	}
+	for _, p := range next.persists {
+		if p.lvl == l && !p.busy {
+			r.tryStart(p)
+		}
+	}
+}
+
+// Done returns epoch idx's completion (after Run).
+func (r *Reference) Done(idx int) sim.Cycle { return r.epochs[idx].done }

@@ -1,0 +1,159 @@
+package ett
+
+import (
+	"testing"
+
+	"plp/internal/bmt"
+	"plp/internal/sim"
+	"plp/internal/xrand"
+)
+
+// epochSpec is one epoch's schedule for differential runs.
+type epochSpec struct {
+	ready sim.Cycle
+	costs []LevelCost
+}
+
+func runRefEpochs(topo *bmt.Topology, slots int, specs []epochSpec) []sim.Cycle {
+	eng := sim.NewEngine()
+	ref := NewReference(eng, topo, slots)
+	for _, s := range specs {
+		ref.AddEpoch(s.ready, s.costs)
+	}
+	return ref.Run()
+}
+
+func runSchedEpochs(topo *bmt.Topology, slots int, specs []epochSpec) []sim.Cycle {
+	s := NewScheduler(topo, slots, PolicyNone)
+	out := make([]sim.Cycle, len(specs))
+	for i, spec := range specs {
+		leaves := make([]bmt.Label, len(spec.costs))
+		for j := range leaves {
+			leaves[j] = topo.LeafLabel(uint64(j*13) % topo.Leaves())
+		}
+		costs := spec.costs
+		cost := func(pi, lvl int, start sim.Cycle) sim.Cycle {
+			return costs[pi](pi, lvl, start)
+		}
+		_, done, _ := s.ScheduleEpoch(spec.ready, leaves, cost)
+		out[i] = done
+	}
+	return out
+}
+
+func TestReferenceSingleEpoch(t *testing.T) {
+	topo := bmt.MustNewTopology(4, 8)
+	fixed := func(_, _ int, start sim.Cycle) sim.Cycle { return start + 40 }
+	got := runRefEpochs(topo, 2, []epochSpec{{ready: 10, costs: []LevelCost{fixed, fixed}}})
+	if got[0] != 10+4*40 {
+		t.Fatalf("done = %d", got[0])
+	}
+}
+
+func TestReferenceCrossEpochOrdering(t *testing.T) {
+	topo := bmt.MustNewTopology(4, 8)
+	fixed := func(_, _ int, start sim.Cycle) sim.Cycle { return start + 40 }
+	got := runRefEpochs(topo, 2, []epochSpec{
+		{ready: 0, costs: []LevelCost{fixed}},
+		{ready: 0, costs: []LevelCost{fixed}},
+	})
+	if got[1] <= got[0] {
+		t.Fatalf("epoch order violated: %d <= %d", got[1], got[0])
+	}
+	// Pipelined epochs: second finishes one stage later.
+	if got[0] != 160 || got[1] != 200 {
+		t.Fatalf("got %v, want [160 200]", got)
+	}
+}
+
+func TestReferenceSlotBackpressure(t *testing.T) {
+	topo := bmt.MustNewTopology(4, 8)
+	fixed := func(_, _ int, start sim.Cycle) sim.Cycle { return start + 100 }
+	specs := []epochSpec{
+		{ready: 0, costs: []LevelCost{fixed}},
+		{ready: 0, costs: []LevelCost{fixed}},
+		{ready: 0, costs: []LevelCost{fixed}},
+	}
+	one := runRefEpochs(topo, 1, specs)
+	two := runRefEpochs(topo, 2, specs)
+	if two[2] >= one[2] {
+		t.Fatalf("2 slots (%d) not faster than 1 slot (%d)", two[2], one[2])
+	}
+}
+
+func TestReferenceEmptyEpochPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng := sim.NewEngine()
+	NewReference(eng, bmt.MustNewTopology(4, 8), 2).AddEpoch(0, nil)
+}
+
+// TestDifferentialO3 validates the batch timestamp scheduler against
+// the event-driven authorization model: with pure per-level costs they
+// must produce identical epoch completion times across randomized
+// schedules.
+func TestDifferentialO3(t *testing.T) {
+	r := xrand.New(31)
+	for trial := 0; trial < 25; trial++ {
+		topo := bmt.MustNewTopology(2+r.Intn(6), 8)
+		slots := 1 + r.Intn(3)
+		nEpochs := 1 + r.Intn(10)
+		specs := make([]epochSpec, nEpochs)
+		var at sim.Cycle
+		for e := 0; e < nEpochs; e++ {
+			at += sim.Cycle(r.Intn(400))
+			n := 1 + r.Intn(12)
+			costs := make([]LevelCost, n)
+			for p := 0; p < n; p++ {
+				base := sim.Cycle(5 + r.Intn(60))
+				missLvl := 1 + r.Intn(topo.Levels())
+				missPen := sim.Cycle(0)
+				if r.Bool(0.3) {
+					missPen = sim.Cycle(r.Intn(400))
+				}
+				costs[p] = func(_, lvl int, start sim.Cycle) sim.Cycle {
+					d := start + base
+					if lvl == missLvl {
+						d += missPen
+					}
+					return d
+				}
+			}
+			specs[e] = epochSpec{ready: at, costs: costs}
+		}
+		ref := runRefEpochs(topo, slots, specs)
+		sched := runSchedEpochs(topo, slots, specs)
+		for e := range ref {
+			if ref[e] != sched[e] {
+				t.Fatalf("trial %d epoch %d: reference %d != scheduler %d (levels=%d slots=%d persists=%d)",
+					trial, e, ref[e], sched[e], topo.Levels(), slots, len(specs[e].costs))
+			}
+		}
+	}
+}
+
+func TestDifferentialO3Saturated(t *testing.T) {
+	// All epochs ready at once: heavy slot and ownership contention.
+	r := xrand.New(77)
+	topo := bmt.MustNewTopology(9, 8)
+	specs := make([]epochSpec, 8)
+	for e := range specs {
+		n := 1 + r.Intn(20)
+		costs := make([]LevelCost, n)
+		for p := range costs {
+			lat := sim.Cycle(10 + r.Intn(80))
+			costs[p] = func(_, _ int, start sim.Cycle) sim.Cycle { return start + lat }
+		}
+		specs[e] = epochSpec{ready: 0, costs: costs}
+	}
+	ref := runRefEpochs(topo, 2, specs)
+	sched := runSchedEpochs(topo, 2, specs)
+	for e := range ref {
+		if ref[e] != sched[e] {
+			t.Fatalf("epoch %d: reference %d != scheduler %d", e, ref[e], sched[e])
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fast keeps harness tests quick: a few benchmarks, short runs.
+func fast() Options {
+	return Options{
+		Instructions: 300_000,
+		Benches:      []string{"gamess", "sphinx3", "gcc"},
+	}
+}
+
+func TestAllDriversRun(t *testing.T) {
+	drivers := All()
+	if len(drivers) != len(Order()) {
+		t.Fatalf("drivers %d != order %d", len(drivers), len(Order()))
+	}
+	for _, id := range Order() {
+		f, ok := drivers[id]
+		if !ok {
+			t.Fatalf("missing driver %s", id)
+		}
+		e := f(fast())
+		if e.ID == "" || e.Table == nil {
+			t.Fatalf("%s: empty experiment", id)
+		}
+		out := e.String()
+		if !strings.Contains(out, "gamess") {
+			t.Fatalf("%s output missing benchmark rows:\n%s", id, out)
+		}
+	}
+}
+
+func TestFig8SummaryShape(t *testing.T) {
+	e := Fig8(fast())
+	sp := e.Summary["gmean sp"]
+	pipe := e.Summary["gmean pipeline"]
+	un := e.Summary["gmean unordered"]
+	if !(sp > pipe && sp > un) {
+		t.Fatalf("sp (%v) must dominate pipeline (%v) and unordered (%v)", sp, pipe, un)
+	}
+	if sp < 3 {
+		t.Fatalf("sp gmean %v implausibly low for persist-heavy subset", sp)
+	}
+}
+
+func TestFig10SummaryShape(t *testing.T) {
+	e := Fig10(fast())
+	o3 := e.Summary["gmean o3"]
+	co := e.Summary["gmean coalescing"]
+	if co > o3*1.05 {
+		t.Fatalf("coalescing (%v) worse than o3 (%v)", co, o3)
+	}
+	red := e.Summary["mean coalescing reduction"]
+	if red <= 0.05 || red >= 0.7 {
+		t.Fatalf("coalescing reduction %v out of plausible band", red)
+	}
+}
+
+func TestFig9MonotoneInMACLatency(t *testing.T) {
+	e := Fig9(fast())
+	seq := []string{"gmean mac0", "gmean mac20", "gmean mac40", "gmean mac80"}
+	prev := 0.0
+	for _, k := range seq {
+		v := e.Summary[k]
+		if v <= prev {
+			t.Fatalf("%s = %v not increasing (prev %v)", k, v, prev)
+		}
+		prev = v
+	}
+	if ideal := e.Summary["gmean idealMDC"]; ideal > 1.05 {
+		t.Fatalf("ideal MDC gmean = %v, want ~1", ideal)
+	}
+}
+
+func TestFig11PPKIDecreases(t *testing.T) {
+	e := Fig11(fast())
+	prev := 1e18
+	for _, es := range EpochSizes {
+		v := e.Summary[keyf("avg PPKI epoch %d", es)]
+		if v >= prev {
+			t.Fatalf("PPKI at epoch %d (%v) not below previous (%v)", es, v, prev)
+		}
+		prev = v
+	}
+}
+
+func keyf(format string, a ...interface{}) string {
+	return fmt.Sprintf(format, a...)
+}
+
+func TestTableVMatchesCalibration(t *testing.T) {
+	e := TableV(Options{Instructions: 300_000, Benches: []string{"gamess"}})
+	// gamess: sp PPKI should land near the paper's 51.38.
+	got := e.Summary["avg sp PPKI"]
+	if got < 43 || got > 60 {
+		t.Fatalf("gamess sp PPKI = %v, want ~51", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Instructions == 0 {
+		t.Fatal("instructions not defaulted")
+	}
+	if len(o.profiles()) != 15 {
+		t.Fatalf("default profiles = %d", len(o.profiles()))
+	}
+	o.Benches = []string{"gamess", "nonesuch"}
+	if len(o.profiles()) != 1 {
+		t.Fatal("unknown benchmark not skipped")
+	}
+}
+
+func TestExperimentStringFormat(t *testing.T) {
+	e := CoalesceStats(fast())
+	s := e.String()
+	if !strings.HasPrefix(s, "== Coalesce") {
+		t.Fatalf("bad header: %q", s[:40])
+	}
+	if !strings.Contains(s, "%") {
+		t.Fatal("reduction percentages missing")
+	}
+}
+
+func TestVarianceNarrowBands(t *testing.T) {
+	e := Variance(Options{Instructions: 400_000, Benches: []string{"gamess", "sphinx3"}})
+	if e.Summary["worst spread (%)"] > 20 {
+		t.Fatalf("seed spread %.1f%% too wide: results depend on the random stream",
+			e.Summary["worst spread (%)"])
+	}
+	if gm := e.Summary["gmean of means"]; gm < 0.8 || gm > 2 {
+		t.Fatalf("gmean of means = %v", gm)
+	}
+}
+
+func TestNVMSweepTechnologyRobust(t *testing.T) {
+	e := NVMSweep(Options{Instructions: 300_000, Benches: []string{"gamess"}})
+	// sp's overhead is MAC-bound, so it stays severe on every
+	// technology; coalescing stays near 1 on every technology.
+	for _, name := range nvmPointNames() {
+		sp := e.Summary["gmean sp "+name]
+		co := e.Summary["gmean coalescing "+name]
+		if sp < 5 {
+			t.Errorf("%s: sp gmean %.2f suspiciously low", name, sp)
+		}
+		if co > 2.5 {
+			t.Errorf("%s: coalescing gmean %.2f suspiciously high", name, co)
+		}
+		if sp < co {
+			t.Errorf("%s: ordering inverted", name)
+		}
+	}
+}
+
+func TestLatencyDriver(t *testing.T) {
+	e := Latency(Options{Instructions: 300_000, Benches: []string{"gamess"}})
+	spMean := e.Summary["avg sp mean latency"]
+	if spMean < 360 {
+		t.Fatalf("sp mean latency %.0f below the 360-cycle analytic floor", spMean)
+	}
+	if p99 := e.Summary["avg sp p99 latency"]; p99 < spMean {
+		t.Fatalf("p99 (%.0f) below mean (%.0f)", p99, spMean)
+	}
+}
+
+func TestExperimentMarkdown(t *testing.T) {
+	e := CoalesceStats(fast())
+	md := e.Markdown()
+	if !strings.HasPrefix(md, "## Coalesce") || !strings.Contains(md, "| --- |") {
+		t.Fatalf("markdown:\n%.120s", md)
+	}
+	if !strings.Contains(md, "- mean reduction:") {
+		t.Fatal("summary bullets missing")
+	}
+}
+
+func TestParallelSingleWorkerPath(t *testing.T) {
+	// Parallel=1 exercises the sequential fallback; results must match
+	// the parallel path exactly (determinism).
+	seq := Fig10(Options{Instructions: 200_000, Benches: []string{"gamess", "sphinx3"}, Parallel: 1})
+	par := Fig10(Options{Instructions: 200_000, Benches: []string{"gamess", "sphinx3"}, Parallel: 4})
+	for k, v := range seq.Summary {
+		if par.Summary[k] != v {
+			t.Fatalf("%s differs: %v vs %v", k, v, par.Summary[k])
+		}
+	}
+}

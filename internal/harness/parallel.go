@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"plp/internal/engine"
+	"plp/internal/trace"
+)
+
+// parallel runs fn once per profile, fanning out across CPUs. Results
+// are communicated through the index: callers write into pre-sized
+// slices, so table assembly stays in benchmark order regardless of
+// completion order.
+func (r *runner) parallel(profs []trace.Profile, fn func(i int, p trace.Profile)) {
+	workers := r.o.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(profs) {
+		workers = len(profs)
+	}
+	if workers <= 1 {
+		for i, p := range profs {
+			fn(i, p)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i, profs[i])
+			}
+		}()
+	}
+	for i := range profs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// baseline returns the cached secure_WB run for p, computing it on
+// first use. Safe for concurrent callers.
+func (r *runner) baseline(p trace.Profile) engine.Result {
+	key := p.Name
+	if r.o.FullMemory {
+		key += "|full"
+	}
+	r.mu.Lock()
+	res, ok := r.bases[key]
+	r.mu.Unlock()
+	if ok {
+		return res
+	}
+	res = engine.Run(r.cfg(engine.SchemeSecureWB), p)
+	r.mu.Lock()
+	r.bases[key] = res
+	r.mu.Unlock()
+	return res
+}

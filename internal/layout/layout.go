@@ -1,0 +1,84 @@
+// Package layout computes where security metadata physically lives in
+// NVM for a protected region: the split-counter region (one 64B block
+// per 4KB page), the MAC region (eight 64-bit MACs per 64B block), and
+// the BMT node region (eight 64-bit node hashes per 64B line). The
+// regions are laid out contiguously after the data so that data,
+// counter, MAC, and tree traffic map to disjoint NVM addresses — the
+// property the write-merging and bank models rely on.
+package layout
+
+import (
+	"fmt"
+
+	"plp/internal/addr"
+	"plp/internal/bmt"
+)
+
+// Layout maps metadata structures to NVM block addresses.
+type Layout struct {
+	// DataBlocks is the number of protected data blocks, starting at 0.
+	DataBlocks uint64
+	// CtrBase/CtrBlocks: split-counter region (one block per page).
+	CtrBase, CtrBlocks uint64
+	// MACBase/MACBlocks: MAC region (PerBlock MACs per block).
+	MACBase, MACBlocks uint64
+	// BMTBase/BMTBlocks: integrity-tree node region (8 hashes/line).
+	BMTBase, BMTBlocks uint64
+}
+
+// hashesPerLine is the number of 8-byte node hashes per 64-byte line.
+const hashesPerLine = addr.BlockBytes / bmt.HashSize
+
+// New computes the layout for the given protected data size and tree.
+// The tree must cover at least DataBlocks/BlocksPerPage leaves.
+func New(dataBlocks uint64, topo *bmt.Topology) (Layout, error) {
+	pages := (dataBlocks + addr.BlocksPerPage - 1) / addr.BlocksPerPage
+	if topo.Leaves() < pages {
+		return Layout{}, fmt.Errorf("layout: tree covers %d pages, need %d", topo.Leaves(), pages)
+	}
+	l := Layout{DataBlocks: dataBlocks}
+	l.CtrBase = dataBlocks
+	l.CtrBlocks = pages
+	l.MACBase = l.CtrBase + l.CtrBlocks
+	l.MACBlocks = (dataBlocks + 7) / 8
+	l.BMTBase = l.MACBase + l.MACBlocks
+	l.BMTBlocks = (topo.Nodes() + hashesPerLine - 1) / hashesPerLine
+	return l, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(dataBlocks uint64, topo *bmt.Topology) Layout {
+	l, err := New(dataBlocks, topo)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// DataLine returns the NVM block address of data block b.
+func (l Layout) DataLine(b addr.Block) uint64 { return uint64(b) }
+
+// CtrLine returns the NVM block address of page pg's counter block.
+func (l Layout) CtrLine(pg addr.Page) uint64 { return l.CtrBase + uint64(pg) }
+
+// MACLine returns the NVM block address holding data block b's MAC.
+func (l Layout) MACLine(b addr.Block) uint64 { return l.MACBase + uint64(b)/8 }
+
+// BMTLine returns the NVM block address holding tree node label's hash.
+func (l Layout) BMTLine(label bmt.Label) uint64 {
+	return l.BMTBase + uint64(label)/hashesPerLine
+}
+
+// TotalBlocks returns the full footprint (data + all metadata).
+func (l Layout) TotalBlocks() uint64 { return l.BMTBase + l.BMTBlocks }
+
+// OverheadRatio returns metadata bytes per data byte: the storage cost
+// of the security metadata (split counters ≈ 1.56%, MACs 12.5%, plus
+// the tree).
+func (l Layout) OverheadRatio() float64 {
+	if l.DataBlocks == 0 {
+		return 0
+	}
+	meta := l.CtrBlocks + l.MACBlocks + l.BMTBlocks
+	return float64(meta) / float64(l.DataBlocks)
+}

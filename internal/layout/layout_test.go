@@ -1,0 +1,119 @@
+package layout
+
+import (
+	"testing"
+
+	"plp/internal/addr"
+	"plp/internal/bmt"
+)
+
+// cover8GB: the paper's 8GB NVMM = 2^27 data blocks; the 9-level
+// 8-ary tree covers it.
+func cover8GB(t *testing.T) (Layout, *bmt.Topology) {
+	t.Helper()
+	topo := bmt.MustNewTopology(9, 8)
+	l, err := New(1<<27, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, topo
+}
+
+func TestRegionsDisjointAndOrdered(t *testing.T) {
+	l, topo := cover8GB(t)
+	if l.CtrBase != l.DataBlocks {
+		t.Fatal("counter region not after data")
+	}
+	if l.MACBase != l.CtrBase+l.CtrBlocks {
+		t.Fatal("MAC region overlaps counters")
+	}
+	if l.BMTBase != l.MACBase+l.MACBlocks {
+		t.Fatal("BMT region overlaps MACs")
+	}
+	if l.TotalBlocks() != l.BMTBase+l.BMTBlocks {
+		t.Fatal("total wrong")
+	}
+	_ = topo
+}
+
+func TestRegionSizes(t *testing.T) {
+	l, topo := cover8GB(t)
+	if l.CtrBlocks != 1<<27/64 {
+		t.Fatalf("ctr blocks = %d", l.CtrBlocks)
+	}
+	if l.MACBlocks != 1<<27/8 {
+		t.Fatalf("mac blocks = %d", l.MACBlocks)
+	}
+	wantBMT := (topo.Nodes() + 7) / 8
+	if l.BMTBlocks != wantBMT {
+		t.Fatalf("bmt blocks = %d, want %d", l.BMTBlocks, wantBMT)
+	}
+}
+
+func TestAddressMappingsInRange(t *testing.T) {
+	l, topo := cover8GB(t)
+	cases := []struct {
+		got, lo, hi uint64
+		name        string
+	}{
+		{l.DataLine(addr.Block(12345)), 0, l.DataBlocks, "data"},
+		{l.CtrLine(addr.Page(999)), l.CtrBase, l.CtrBase + l.CtrBlocks, "ctr"},
+		{l.MACLine(addr.Block(12345)), l.MACBase, l.MACBase + l.MACBlocks, "mac"},
+		{l.BMTLine(topo.LeafLabel(42)), l.BMTBase, l.BMTBase + l.BMTBlocks, "bmt"},
+	}
+	for _, c := range cases {
+		if c.got < c.lo || c.got >= c.hi {
+			t.Errorf("%s line %d outside [%d, %d)", c.name, c.got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestPackingGranularity(t *testing.T) {
+	l, _ := cover8GB(t)
+	// Eight consecutive data blocks share one MAC line.
+	if l.MACLine(0) != l.MACLine(7) || l.MACLine(7) == l.MACLine(8) {
+		t.Fatal("MAC packing wrong")
+	}
+	// Eight consecutive node labels share one BMT line.
+	if l.BMTLine(0) != l.BMTLine(7) || l.BMTLine(7) == l.BMTLine(8) {
+		t.Fatal("BMT packing wrong")
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	l, _ := cover8GB(t)
+	// Counters 1/64 ≈ 1.56% + MACs 1/8 = 12.5% + tree (~2.2% for a
+	// 16.7M-leaf tree over 2M pages... tree sized by topology).
+	r := l.OverheadRatio()
+	if r < 0.14 || r > 0.30 {
+		t.Fatalf("overhead ratio = %v", r)
+	}
+	// Split counters alone: 1.5625% (paper §II).
+	ctrRatio := float64(l.CtrBlocks) / float64(l.DataBlocks)
+	if ctrRatio != 1.0/64 {
+		t.Fatalf("counter overhead = %v, want 1/64", ctrRatio)
+	}
+}
+
+func TestTreeTooSmallRejected(t *testing.T) {
+	topo := bmt.MustNewTopology(2, 8) // 8 leaves = 8 pages
+	if _, err := New(1<<20, topo); err == nil {
+		t.Fatal("undersized tree accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(1<<30, bmt.MustNewTopology(2, 8))
+}
+
+func TestZeroDataOverhead(t *testing.T) {
+	l := Layout{}
+	if l.OverheadRatio() != 0 {
+		t.Fatal("zero-data overhead nonzero")
+	}
+}

@@ -1,0 +1,93 @@
+// Package mac implements the stateful MACs the paper uses for data
+// integrity: M = MAC_K(C, A, γ) over the ciphertext, the block
+// address, and the encryption counter. Because the counter is an input
+// and the counter itself gains freshness from the Bonsai Merkle Tree,
+// any tampering with the ciphertext, the address (splicing), the
+// counter (replay), or the MAC itself is detectable.
+//
+// MACs are 64-bit (8-byte) values; eight of them pack into one
+// 64-byte MAC memory block, which is the granularity the MAC cache and
+// NVM see.
+package mac
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+
+	"plp/internal/addr"
+	"plp/internal/ctr"
+)
+
+// Size is the MAC size in bytes.
+const Size = 8
+
+// PerBlock is the number of MACs per 64-byte MAC memory block.
+const PerBlock = addr.BlockBytes / Size // 8
+
+// Tag is a truncated stateful MAC.
+type Tag uint64
+
+// Engine computes stateful MACs under a fixed key.
+type Engine struct {
+	mac hash.Hash
+	// Computed counts MAC computations (each corresponds to one
+	// traversal of the hardware MAC unit).
+	Computed uint64
+}
+
+// NewEngine creates a MAC engine with the given key (any length;
+// HMAC-SHA-256 handles key conditioning).
+func NewEngine(key []byte) *Engine {
+	return &Engine{mac: hmac.New(sha256.New, key)}
+}
+
+// Compute returns the stateful MAC over (ciphertext, address, counter).
+func (e *Engine) Compute(ct [addr.BlockBytes]byte, blk addr.Block, c ctr.Counter) Tag {
+	e.Computed++
+	e.mac.Reset()
+	e.mac.Write(ct[:])
+	var meta [16]byte
+	binary.LittleEndian.PutUint64(meta[0:8], uint64(blk))
+	binary.LittleEndian.PutUint64(meta[8:16], c.Seed())
+	e.mac.Write(meta[:])
+	sum := e.mac.Sum(nil)
+	return Tag(binary.LittleEndian.Uint64(sum[:8]))
+}
+
+// Verify recomputes the MAC and compares against want.
+func (e *Engine) Verify(ct [addr.BlockBytes]byte, blk addr.Block, c ctr.Counter, want Tag) bool {
+	return e.Compute(ct, blk, c) == want
+}
+
+// BlockOf returns the MAC memory block holding data block b's MAC.
+func BlockOf(b addr.Block) uint64 { return uint64(b) / PerBlock }
+
+// Store is the authoritative (in-NVM) MAC table, one tag per data
+// block, allocated lazily. Absent entries read as zero, the MAC value
+// of never-written blocks.
+type Store struct {
+	tags map[addr.Block]Tag
+}
+
+// NewStore returns an empty MAC store.
+func NewStore() *Store { return &Store{tags: make(map[addr.Block]Tag)} }
+
+// Get returns the stored tag for blk (zero if never set).
+func (s *Store) Get(blk addr.Block) Tag { return s.tags[blk] }
+
+// Set records the tag for blk.
+func (s *Store) Set(blk addr.Block, t Tag) { s.tags[blk] = t }
+
+// Len returns the number of stored tags.
+func (s *Store) Len() int { return len(s.tags) }
+
+// Clone deep-copies the store for crash snapshots.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for k, v := range s.tags {
+		c.tags[k] = v
+	}
+	return c
+}

@@ -1,0 +1,148 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plp/internal/addr"
+	"plp/internal/ctr"
+	"plp/internal/xrand"
+)
+
+var key = []byte("mac-test-key")
+
+func randBlock(seed uint64) [addr.BlockBytes]byte {
+	var b [addr.BlockBytes]byte
+	xrand.New(seed).Fill(b[:])
+	return b
+}
+
+func TestVerifyAccepts(t *testing.T) {
+	e := NewEngine(key)
+	ct := randBlock(1)
+	c := ctr.Counter{Major: 3, Minor: 7}
+	tag := e.Compute(ct, 42, c)
+	if !e.Verify(ct, 42, c, tag) {
+		t.Fatal("valid MAC rejected")
+	}
+}
+
+func TestDetectsCiphertextTamper(t *testing.T) {
+	e := NewEngine(key)
+	ct := randBlock(2)
+	c := ctr.Counter{Minor: 1}
+	tag := e.Compute(ct, 42, c)
+	ct[13] ^= 0x80
+	if e.Verify(ct, 42, c, tag) {
+		t.Fatal("tampered ciphertext accepted")
+	}
+}
+
+func TestDetectsSplicing(t *testing.T) {
+	// Moving a valid (ct, tag) pair to a different address must fail:
+	// address is a MAC input.
+	e := NewEngine(key)
+	ct := randBlock(3)
+	c := ctr.Counter{Minor: 1}
+	tag := e.Compute(ct, 42, c)
+	if e.Verify(ct, 43, c, tag) {
+		t.Fatal("spliced block accepted")
+	}
+}
+
+func TestDetectsCounterReplay(t *testing.T) {
+	// Replaying an old counter with matching old data must fail against
+	// the new MAC, and vice versa.
+	e := NewEngine(key)
+	ct := randBlock(4)
+	oldC := ctr.Counter{Minor: 1}
+	newC := ctr.Counter{Minor: 2}
+	newTag := e.Compute(ct, 42, newC)
+	if e.Verify(ct, 42, oldC, newTag) {
+		t.Fatal("counter replay accepted")
+	}
+}
+
+func TestDetectsTagTamper(t *testing.T) {
+	e := NewEngine(key)
+	ct := randBlock(5)
+	c := ctr.Counter{Minor: 1}
+	tag := e.Compute(ct, 42, c)
+	if e.Verify(ct, 42, c, tag^1) {
+		t.Fatal("tampered tag accepted")
+	}
+}
+
+func TestKeyedness(t *testing.T) {
+	e1 := NewEngine(key)
+	e2 := NewEngine([]byte("other-key"))
+	ct := randBlock(6)
+	c := ctr.Counter{Minor: 1}
+	if e1.Compute(ct, 1, c) == e2.Compute(ct, 1, c) {
+		t.Fatal("MAC independent of key")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	f := func(blkRaw uint64, major uint64, minor uint8, seed uint64) bool {
+		e := NewEngine(key)
+		ct := randBlock(seed)
+		c := ctr.Counter{Major: major, Minor: minor & ctr.MinorMax}
+		return e.Compute(ct, addr.Block(blkRaw), c) == e.Compute(ct, addr.Block(blkRaw), c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockOfPacking(t *testing.T) {
+	if PerBlock != 8 {
+		t.Fatalf("PerBlock = %d, want 8", PerBlock)
+	}
+	for i := 0; i < 16; i++ {
+		want := uint64(i / 8)
+		if got := BlockOf(addr.Block(i)); got != want {
+			t.Fatalf("BlockOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	if s.Get(1) != 0 {
+		t.Fatal("unset tag nonzero")
+	}
+	s.Set(1, 0xdead)
+	if s.Get(1) != 0xdead || s.Len() != 1 {
+		t.Fatal("Set/Get broken")
+	}
+}
+
+func TestStoreClone(t *testing.T) {
+	s := NewStore()
+	s.Set(1, 10)
+	c := s.Clone()
+	s.Set(1, 20)
+	s.Set(2, 30)
+	if c.Get(1) != 10 || c.Get(2) != 0 || c.Len() != 1 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestComputedStat(t *testing.T) {
+	e := NewEngine(key)
+	e.Compute(randBlock(7), 1, ctr.Counter{})
+	e.Verify(randBlock(7), 1, ctr.Counter{}, 0)
+	if e.Computed != 2 {
+		t.Fatalf("Computed = %d, want 2", e.Computed)
+	}
+}
+
+func BenchmarkCompute(b *testing.B) {
+	e := NewEngine(key)
+	ct := randBlock(8)
+	for i := 0; i < b.N; i++ {
+		_ = e.Compute(ct, addr.Block(i), ctr.Counter{Minor: uint8(i) & 0x7f})
+	}
+	b.SetBytes(addr.BlockBytes)
+}

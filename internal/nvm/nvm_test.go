@@ -1,0 +1,127 @@
+package nvm
+
+import "testing"
+
+func TestDefaultLatencies(t *testing.T) {
+	m := New(Config{})
+	// Table III @4GHz: read = 72.5ns = 290 cycles, write = 155ns = 620.
+	if m.ReadLatency() != 290 {
+		t.Fatalf("read latency = %d, want 290", m.ReadLatency())
+	}
+	if m.WriteLatency() != 620 {
+		t.Fatalf("write latency = %d, want 620", m.WriteLatency())
+	}
+}
+
+func TestUncontendedRead(t *testing.T) {
+	m := New(Config{})
+	if done := m.Read(0, 100); done != 100+290 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestSameBankReadsSerialize(t *testing.T) {
+	m := New(Config{Banks: 4})
+	d1 := m.Read(0, 0)
+	d2 := m.Read(4, 0) // same bank (4 % 4 == 0)
+	if d2 != d1+290 {
+		t.Fatalf("d1=%d d2=%d", d1, d2)
+	}
+	if m.ReadStall == 0 {
+		t.Fatal("no read queueing recorded")
+	}
+}
+
+func TestDifferentBanksParallelReads(t *testing.T) {
+	m := New(Config{Banks: 4})
+	d1 := m.Read(0, 0)
+	d2 := m.Read(1, 0)
+	if d1 != d2 {
+		t.Fatalf("cross-bank contention: %d %d", d1, d2)
+	}
+}
+
+func TestWritesNeverDelayReads(t *testing.T) {
+	// Read priority: a burst of writes leaves read latency untouched.
+	m := New(Config{Banks: 1})
+	for i := 0; i < 50; i++ {
+		m.Write(0, 0)
+	}
+	if done := m.Read(0, 0); done != 290 {
+		t.Fatalf("read delayed by writes: done = %d", done)
+	}
+}
+
+func TestWriteBusBandwidth(t *testing.T) {
+	// Writes drain one per WriteBusNS (13 cycles at defaults).
+	m := New(Config{})
+	d1 := m.Write(0, 0)
+	d2 := m.Write(1, 0)
+	gap := d2 - d1
+	want := m.writeBus.Initiation
+	if gap != want {
+		t.Fatalf("write drain spacing = %d, want %d", gap, want)
+	}
+}
+
+func TestWriteQueueCapacityBackpressure(t *testing.T) {
+	// With a tiny write queue, a burst forces later writes to wait for
+	// queue space, recorded in WriteStall.
+	m := New(Config{WriteQueue: 2})
+	for i := 0; i < 10; i++ {
+		m.Write(uint64(i), 0)
+	}
+	if m.WriteStall == 0 {
+		t.Fatal("no write-queue stalls under burst")
+	}
+}
+
+func TestDrainTime(t *testing.T) {
+	m := New(Config{})
+	m.Write(0, 0)
+	last := m.Write(0, 0)
+	if m.DrainTime() != last {
+		t.Fatalf("drain = %d, want %d", m.DrainTime(), last)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := New(Config{Banks: 1})
+	m.Write(0, 0)
+	m.Write(0, 0)
+	m.Read(0, 0)
+	if m.Writes != 2 || m.Reads != 1 {
+		t.Fatalf("reads=%d writes=%d", m.Reads, m.Writes)
+	}
+}
+
+func TestBurstThenIdle(t *testing.T) {
+	// After a burst drains, later traffic sees no residual delay.
+	m := New(Config{Banks: 2})
+	for i := 0; i < 20; i++ {
+		m.Write(uint64(i), 0)
+		m.Read(uint64(i), 0)
+	}
+	quiet := m.DrainTime() + 10000
+	if done := m.Read(0, quiet); done != quiet+290 {
+		t.Fatalf("post-idle read delayed: %d", done)
+	}
+}
+
+func TestAvgWriteStallZeroWhenIdle(t *testing.T) {
+	m := New(Config{})
+	if m.AvgWriteStall() != 0 {
+		t.Fatal("avg stall nonzero with no writes")
+	}
+	m.Write(0, 0)
+	if m.AvgWriteStall() != 0 {
+		t.Fatal("single write should not stall")
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	m := New(Config{})
+	for i := 0; i < b.N; i++ {
+		m.Write(uint64(i), 0)
+	}
+}

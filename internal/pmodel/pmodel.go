@@ -1,0 +1,118 @@
+// Package pmodel provides the middle layer of the paper's §III crash-
+// recovery stack on the functional secure memory: memory persistency
+// models. The top layer (durable atomic regions) is internal/txn; the
+// bottom layer (memory-tuple persistence) is internal/core. This
+// package offers the two models the paper evaluates:
+//
+//   - Strict persistency: every store persists, in program order,
+//     before the next store proceeds — simple reasoning, high cost
+//     (the functional analogue of the `sp` timing scheme).
+//
+//   - Epoch persistency: stores buffer freely within an epoch; a
+//     persist barrier flushes the epoch's distinct dirty blocks, whose
+//     tuple persists may be applied out of order (§IV-B1 guarantees
+//     the final tree state is order-independent), and orders them
+//     against later epochs — the functional analogue of o3/coalescing.
+package pmodel
+
+import (
+	"plp/internal/addr"
+	"plp/internal/core"
+	"plp/internal/tuple"
+	"plp/internal/xrand"
+)
+
+// Strict wraps a Memory under strict persistency: Write persists
+// synchronously.
+type Strict struct {
+	M *core.Memory
+	// Persists counts completed store persists.
+	Persists uint64
+}
+
+// NewStrict creates a strict-persistency front-end over m.
+func NewStrict(m *core.Memory) *Strict { return &Strict{M: m} }
+
+// Write stores and persists data at blk before returning — the
+// write-through behaviour strict persistency forces (§IV-A1).
+func (s *Strict) Write(blk addr.Block, data core.BlockData) {
+	s.M.Write(blk, data)
+	s.M.Persist(blk)
+	s.Persists++
+}
+
+// Read returns blk's value.
+func (s *Strict) Read(blk addr.Block) (core.BlockData, error) { return s.M.Read(blk) }
+
+// Epoch wraps a Memory under epoch persistency.
+type Epoch struct {
+	M *core.Memory
+	// Shuffle, when non-nil, randomizes the order in which the
+	// barrier applies tree updates and commits — modelling the
+	// out-of-order hardware and exercising §IV-B1's commutativity.
+	Shuffle *xrand.RNG
+
+	pending map[addr.Block]core.BlockData
+	order   []addr.Block
+
+	// Epochs counts barriers; Persists counts block persists.
+	Epochs   uint64
+	Persists uint64
+}
+
+// NewEpoch creates an epoch-persistency front-end over m.
+func NewEpoch(m *core.Memory) *Epoch {
+	return &Epoch{M: m, pending: make(map[addr.Block]core.BlockData)}
+}
+
+// Write stores data at blk within the current epoch. Nothing persists
+// until Barrier.
+func (e *Epoch) Write(blk addr.Block, data core.BlockData) {
+	if _, seen := e.pending[blk]; !seen {
+		e.order = append(e.order, blk)
+	}
+	e.pending[blk] = data
+	e.M.Write(blk, data)
+}
+
+// Read returns blk's value as currently visible (epoch-buffered writes
+// included).
+func (e *Epoch) Read(blk addr.Block) (core.BlockData, error) { return e.M.Read(blk) }
+
+// PendingBlocks returns the number of distinct blocks awaiting the
+// barrier.
+func (e *Epoch) PendingBlocks() int { return len(e.pending) }
+
+// Barrier ends the epoch: every distinct dirty block's memory tuple
+// persists. Tree updates and commits are applied out of order when
+// Shuffle is set; either way, once Barrier returns, a crash recovers
+// every write of the epoch.
+func (e *Epoch) Barrier() {
+	if len(e.order) == 0 {
+		return
+	}
+	e.Epochs++
+	blocks := e.order
+	if e.Shuffle != nil {
+		for i := len(blocks) - 1; i > 0; i-- {
+			j := e.Shuffle.Intn(i + 1)
+			blocks[i], blocks[j] = blocks[j], blocks[i]
+		}
+	}
+	pendings := make([]*core.Pending, 0, len(blocks))
+	for _, blk := range blocks {
+		pendings = append(pendings, e.M.Prepare(blk, e.pending[blk]))
+	}
+	for _, p := range pendings {
+		e.M.ApplyTreeUpdate(p)
+	}
+	for _, p := range pendings {
+		e.M.Commit(p, tuple.Complete)
+		e.Persists++
+	}
+	for _, blk := range blocks {
+		e.M.Discard(blk) // staged copy now persisted
+	}
+	e.pending = make(map[addr.Block]core.BlockData)
+	e.order = e.order[:0]
+}

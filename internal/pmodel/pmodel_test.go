@@ -1,0 +1,159 @@
+package pmodel
+
+import (
+	"testing"
+
+	"plp/internal/addr"
+	"plp/internal/core"
+	"plp/internal/xrand"
+)
+
+func mem(t *testing.T) *core.Memory {
+	t.Helper()
+	m, err := core.New(core.Config{Key: []byte("pmodel-test-key!"), BMTLevels: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func d(s string) core.BlockData {
+	var b core.BlockData
+	copy(b[:], s)
+	return b
+}
+
+func TestStrictEveryWriteSurvives(t *testing.T) {
+	m := mem(t)
+	s := NewStrict(m)
+	s.Write(1, d("one"))
+	s.Write(2, d("two"))
+	// Crash immediately: under SP both writes are durable.
+	m.Crash()
+	if !m.Recover().Clean() {
+		t.Fatal("recovery not clean")
+	}
+	for blk, want := range map[addr.Block]core.BlockData{1: d("one"), 2: d("two")} {
+		got, err := s.Read(blk)
+		if err != nil || got != want {
+			t.Fatalf("block %d lost under strict persistency", blk)
+		}
+	}
+	if s.Persists != 2 {
+		t.Fatalf("persists = %d", s.Persists)
+	}
+}
+
+func TestEpochBuffersUntilBarrier(t *testing.T) {
+	m := mem(t)
+	e := NewEpoch(m)
+	e.Write(1, d("staged"))
+	if e.PendingBlocks() != 1 {
+		t.Fatal("pending not tracked")
+	}
+	// Crash before the barrier: the write is lost (legal under EP —
+	// crash recovery only depends on epoch-boundary state).
+	m.Crash()
+	m.Recover()
+	got, _ := m.Read(1)
+	if got == d("staged") {
+		t.Fatal("unbarriered write survived crash")
+	}
+}
+
+func TestEpochBarrierMakesDurable(t *testing.T) {
+	m := mem(t)
+	e := NewEpoch(m)
+	e.Write(1, d("alpha"))
+	e.Write(2, d("beta"))
+	e.Write(1, d("alpha2")) // overwrite within the epoch: one persist
+	e.Barrier()
+	if e.Persists != 2 || e.Epochs != 1 {
+		t.Fatalf("persists=%d epochs=%d", e.Persists, e.Epochs)
+	}
+	m.Crash()
+	if !m.Recover().Clean() {
+		t.Fatal("recovery not clean after barrier")
+	}
+	got, _ := m.Read(1)
+	if got != d("alpha2") {
+		t.Fatal("last write of epoch lost")
+	}
+}
+
+func TestEpochShuffledBarriersRecoverable(t *testing.T) {
+	// Out-of-order application at the barrier (the o3/coalescing
+	// hardware behaviour) must keep every boundary crash-recoverable.
+	m := mem(t)
+	e := NewEpoch(m)
+	e.Shuffle = xrand.New(42)
+	r := xrand.New(7)
+	expect := map[addr.Block]core.BlockData{}
+	for epoch := 0; epoch < 20; epoch++ {
+		for i := 0; i < 8; i++ {
+			blk := addr.Block(r.Intn(128))
+			var data core.BlockData
+			r.Fill(data[:])
+			e.Write(blk, data)
+			expect[blk] = data
+		}
+		e.Barrier()
+		m.Crash()
+		if !m.Recover().Clean() {
+			t.Fatalf("epoch %d: recovery failed", epoch)
+		}
+		for blk, want := range expect {
+			got, err := m.Read(blk)
+			if err != nil || got != want {
+				t.Fatalf("epoch %d: block %d wrong (err %v)", epoch, blk, err)
+			}
+		}
+	}
+}
+
+func TestEmptyBarrierNoop(t *testing.T) {
+	m := mem(t)
+	e := NewEpoch(m)
+	e.Barrier()
+	if e.Epochs != 0 {
+		t.Fatal("empty barrier counted")
+	}
+}
+
+func TestEpochReadSeesStagedWrites(t *testing.T) {
+	m := mem(t)
+	e := NewEpoch(m)
+	e.Write(5, d("visible"))
+	got, err := e.Read(5)
+	if err != nil || got != d("visible") {
+		t.Fatal("staged write not visible to reads")
+	}
+}
+
+func TestEpochFewerPersistsThanStrict(t *testing.T) {
+	// The EP advantage the paper quantifies (Table V sp vs o3): stores
+	// to the same block within an epoch coalesce into one persist.
+	run := func(useEpoch bool) uint64 {
+		m := mem(t)
+		r := xrand.New(3)
+		if useEpoch {
+			e := NewEpoch(m)
+			for i := 0; i < 320; i++ {
+				e.Write(addr.Block(r.Intn(16)), d("x"))
+				if (i+1)%32 == 0 {
+					e.Barrier()
+				}
+			}
+			return e.Persists
+		}
+		s := NewStrict(m)
+		for i := 0; i < 320; i++ {
+			s.Write(addr.Block(r.Intn(16)), d("x"))
+		}
+		return s.Persists
+	}
+	sp, ep := run(false), run(true)
+	if ep >= sp/2 {
+		t.Fatalf("epoch persists %d not much below strict %d", ep, sp)
+	}
+}

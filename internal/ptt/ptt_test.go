@@ -1,0 +1,167 @@
+package ptt
+
+import (
+	"testing"
+
+	"plp/internal/sim"
+)
+
+// fixedCost returns a LevelCost with constant per-level latency.
+func fixedCost(lat sim.Cycle) LevelCost {
+	return func(_ int, start sim.Cycle) sim.Cycle { return start + lat }
+}
+
+func TestSequentialThroughput(t *testing.T) {
+	// Baseline SP: each persist takes levels*lat, fully serialized
+	// (§III: 9 levels x 80-cycle hash = 720 cycles per persist).
+	tab := New(9, 64)
+	var done sim.Cycle
+	for i := 0; i < 3; i++ {
+		done = tab.SequentialPersist(0, fixedCost(80))
+	}
+	if done != 3*9*80 {
+		t.Fatalf("done = %d, want %d", done, 3*9*80)
+	}
+}
+
+func TestPipelinedThroughput(t *testing.T) {
+	// Pipelined: first persist takes levels*lat; each subsequent one
+	// completes lat later (one new persist per stage time).
+	tab := New(9, 64)
+	_, d1 := tab.Persist(0, fixedCost(40))
+	_, d2 := tab.Persist(0, fixedCost(40))
+	_, d3 := tab.Persist(0, fixedCost(40))
+	if d1 != 360 || d2 != 400 || d3 != 440 {
+		t.Fatalf("d = %d %d %d", d1, d2, d3)
+	}
+}
+
+func TestPipelineSpeedupFactor(t *testing.T) {
+	// Over many persists, pipelining approaches a levels-fold speedup.
+	const n, levels = 1000, 9
+	seq := New(levels, 64)
+	pipe := New(levels, 64)
+	var dSeq, dPipe sim.Cycle
+	for i := 0; i < n; i++ {
+		dSeq = seq.SequentialPersist(0, fixedCost(40))
+		_, dPipe = pipe.Persist(0, fixedCost(40))
+	}
+	speedup := float64(dSeq) / float64(dPipe)
+	if speedup < 8 || speedup > 9.1 {
+		t.Fatalf("speedup = %v, want ~9", speedup)
+	}
+}
+
+func TestRootUpdatesStayInOrder(t *testing.T) {
+	// Even when a younger persist is cheap and an older one suffers a
+	// miss, root completions must be monotonically ordered.
+	tab := New(4, 64)
+	slow := func(lvl int, start sim.Cycle) sim.Cycle {
+		if lvl == 4 {
+			return start + 500 // leaf miss
+		}
+		return start + 40
+	}
+	_, d1 := tab.Persist(0, slow)
+	_, d2 := tab.Persist(0, fixedCost(40))
+	if d2 <= d1 {
+		t.Fatalf("younger root (%d) completed before older (%d)", d2, d1)
+	}
+}
+
+func TestMissStallsPipeline(t *testing.T) {
+	// Fig. 4(a): a BMT cache miss for δ1 delays δ2 in the in-order
+	// pipeline even at levels δ1 has not reached yet.
+	tab := New(4, 64)
+	_, d1Miss := tab.Persist(0, func(lvl int, start sim.Cycle) sim.Cycle {
+		if lvl == 4 {
+			return start + 1000
+		}
+		return start + 40
+	})
+	_, d2 := tab.Persist(0, fixedCost(40))
+	// Without the stall δ2 would finish at 4*40+40 = 200; it must not.
+	if d2 < d1Miss {
+		t.Fatalf("δ2 (%d) overtook δ1 (%d)", d2, d1Miss)
+	}
+	if d2 < 1000 {
+		t.Fatalf("δ2 finished at %d, unaffected by δ1's miss", d2)
+	}
+}
+
+func TestCapacityBackpressure(t *testing.T) {
+	// With capacity 2, the 3rd persist cannot be admitted until the
+	// 1st retires.
+	tab := New(2, 2)
+	_, d1 := tab.Persist(0, fixedCost(100))
+	tab.Persist(0, fixedCost(100))
+	tab.Persist(0, fixedCost(100))
+	if tab.AdmitStalls == 0 {
+		t.Fatal("no admit stalls with full table")
+	}
+	_ = d1
+}
+
+func TestLeafStageCadence(t *testing.T) {
+	// Back-to-back persists enter the leaf stage one stage-time apart:
+	// the PTT admits one persist per MAC latency.
+	tab := New(9, 64)
+	var prev sim.Cycle
+	for i := 0; i < 50; i++ {
+		leafStart, _ := tab.Persist(0, fixedCost(40))
+		if want := sim.Cycle(i) * 40; leafStart != want {
+			t.Fatalf("persist %d leafStart = %d, want %d", i, leafStart, want)
+		}
+		if leafStart < prev {
+			t.Fatal("leaf starts not monotone")
+		}
+		prev = leafStart
+	}
+	if tab.Persists != 50 {
+		t.Fatalf("persists = %d", tab.Persists)
+	}
+}
+
+func TestNoAdmitStallWhenSlow(t *testing.T) {
+	// Persists arriving slower than the stage time never stall.
+	tab := New(9, 64)
+	for i := 0; i < 20; i++ {
+		leafStart, _ := tab.Persist(sim.Cycle(i)*100, fixedCost(40))
+		if leafStart != sim.Cycle(i)*100 {
+			t.Fatalf("persist %d delayed to %d", i, leafStart)
+		}
+	}
+	if tab.AdmitStalls != 0 {
+		t.Fatalf("unexpected admit stalls: %d", tab.AdmitStalls)
+	}
+}
+
+func TestIdlePipelineRestartsClean(t *testing.T) {
+	tab := New(4, 64)
+	tab.Persist(0, fixedCost(40))
+	_, d := tab.Persist(10000, fixedCost(40))
+	if d != 10000+4*40 {
+		t.Fatalf("post-idle persist done = %d", d)
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	tab := New(4, 0)
+	if tab.capacity != 1 {
+		t.Fatalf("capacity = %d", tab.capacity)
+	}
+}
+
+func TestLevelsAccessor(t *testing.T) {
+	if New(9, 8).Levels() != 9 {
+		t.Fatal("Levels accessor wrong")
+	}
+}
+
+func BenchmarkPipelinedPersist(b *testing.B) {
+	tab := New(9, 64)
+	c := fixedCost(40)
+	for i := 0; i < b.N; i++ {
+		tab.Persist(0, c)
+	}
+}

@@ -1,0 +1,123 @@
+package ptt
+
+import (
+	"plp/internal/sim"
+)
+
+// Reference is an event-driven model of the PTT pipeline built
+// directly from the paper's Fig. 6 scheduler semantics: entries carry
+// V/R/P bits and a current-level field, and the scheduler is *globally
+// lock-step* — "for the scheduler to allow persist entries to move on
+// to the next BMT levels, it waits until the R bits of these entries
+// are set ... once the bits are set, the scheduler wakes up the
+// entries to move on to the next BMT levels." All in-flight persists
+// advance one level together; a new persist enters the vacated leaf
+// stage at the step boundary.
+//
+// Reference exists to validate the fast timestamp model (Table.Persist)
+// by differential testing. The timestamp model lets an entry start its
+// next level as soon as the entry ahead finished there, which is
+// slightly *optimistic* relative to the lock-step scheduler, so for
+// every persist:
+//
+//	Table.Persist completion <= Reference completion
+//
+// with equality for saturated arrivals under uniform per-level costs.
+// (The lock-step scheduler also quantizes mid-step arrivals to step
+// boundaries, a second source of bounded pessimism relative to the
+// timestamp model.)
+type Reference struct {
+	eng    *sim.Engine
+	levels int
+
+	inflight []*refEntry // entries in the pipeline, oldest first
+	waiting  []*refEntry // arrived, not yet admitted
+	stepping bool        // an update wave is in progress
+
+	done []sim.Cycle // root completion per persist, by injection order
+}
+
+type refEntry struct {
+	id    int
+	lvl   int  // current level being updated (levels..1)
+	ready bool // R bit
+	cost  LevelCost
+}
+
+// NewReference creates an event-driven lock-step PTT over eng.
+func NewReference(eng *sim.Engine, levels int) *Reference {
+	return &Reference{eng: eng, levels: levels}
+}
+
+// Inject schedules a persist arriving at the given absolute cycle with
+// the given per-level cost function, returning the persist's id.
+func (r *Reference) Inject(arrival sim.Cycle, cost LevelCost) int {
+	id := len(r.done)
+	r.done = append(r.done, 0)
+	r.eng.At(arrival, func() {
+		r.waiting = append(r.waiting, &refEntry{id: id, cost: cost})
+		if !r.stepping {
+			r.step()
+		}
+	})
+	return id
+}
+
+// step begins one lock-step wave: retire the root-finished entry,
+// advance everyone one level, admit one waiting persist into the leaf
+// stage, and start every entry's update of its new level.
+func (r *Reference) step() {
+	// Advance survivors; entries at level 1 retired at their update
+	// completion (handled in the completion callback).
+	for _, e := range r.inflight {
+		e.lvl--
+		e.ready = false
+	}
+	// Admit one waiting persist into the (now free) leaf stage.
+	if len(r.waiting) > 0 {
+		e := r.waiting[0]
+		r.waiting = r.waiting[1:]
+		e.lvl = r.levels
+		r.inflight = append(r.inflight, e)
+	}
+	if len(r.inflight) == 0 {
+		r.stepping = false
+		return
+	}
+	r.stepping = true
+	// Start every entry's update of its current level.
+	for _, e := range r.inflight {
+		e := e
+		finish := e.cost(e.lvl, r.eng.Now())
+		r.eng.At(finish, func() {
+			e.ready = true
+			if e.lvl == 1 {
+				// Root updated: P bit set, WPQ notified now.
+				r.done[e.id] = r.eng.Now()
+			}
+			r.maybeEndStep()
+		})
+	}
+}
+
+// maybeEndStep fires the next wave when every R bit is set.
+func (r *Reference) maybeEndStep() {
+	for _, e := range r.inflight {
+		if !e.ready {
+			return
+		}
+	}
+	// Remove retired (level-1) entries, then advance.
+	live := r.inflight[:0]
+	for _, e := range r.inflight {
+		if e.lvl != 1 {
+			live = append(live, e)
+		}
+	}
+	r.inflight = live
+	r.step()
+}
+
+// Done returns persist id's root completion cycle (run the engine to
+// completion first).
+func (r *Reference) Done(id int) sim.Cycle { return r.done[id] }

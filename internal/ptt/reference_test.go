@@ -1,0 +1,189 @@
+package ptt
+
+import (
+	"testing"
+
+	"plp/internal/sim"
+	"plp/internal/xrand"
+)
+
+// runReference injects persists with the given arrivals/costs and
+// returns per-persist completions.
+func runReference(levels int, arrivals []sim.Cycle, costs []LevelCost) []sim.Cycle {
+	eng := sim.NewEngine()
+	ref := NewReference(eng, levels)
+	ids := make([]int, len(arrivals))
+	for i := range arrivals {
+		ids[i] = ref.Inject(arrivals[i], costs[i])
+	}
+	eng.Run(0)
+	out := make([]sim.Cycle, len(ids))
+	for i, id := range ids {
+		out[i] = ref.Done(id)
+	}
+	return out
+}
+
+// runTable replays the same schedule through the timestamp model.
+// Arrivals must be sorted (the timestamp model consumes in order).
+func runTable(levels int, arrivals []sim.Cycle, costs []LevelCost) []sim.Cycle {
+	tab := New(levels, 1<<20)
+	out := make([]sim.Cycle, len(arrivals))
+	for i := range arrivals {
+		_, out[i] = tab.Persist(arrivals[i], costs[i])
+	}
+	return out
+}
+
+func TestReferenceSinglePersist(t *testing.T) {
+	got := runReference(4, []sim.Cycle{10}, []LevelCost{fixedCost(40)})
+	if got[0] != 10+4*40 {
+		t.Fatalf("done = %d", got[0])
+	}
+}
+
+func TestReferencePipelining(t *testing.T) {
+	// Back-to-back uniform persists: lock-step sustains one persist
+	// per stage time, exactly like the timestamp model.
+	arr := []sim.Cycle{0, 0, 0}
+	costs := []LevelCost{fixedCost(40), fixedCost(40), fixedCost(40)}
+	got := runReference(9, arr, costs)
+	want := []sim.Cycle{360, 400, 440}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("persist %d done = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReferenceBubblePropagates(t *testing.T) {
+	// Fig. 4(a): a miss for δ1 stalls δ2 globally in lock-step.
+	slow := func(lvl int, start sim.Cycle) sim.Cycle {
+		if lvl == 4 {
+			return start + 1000
+		}
+		return start + 40
+	}
+	got := runReference(4, []sim.Cycle{0, 0}, []LevelCost{slow, fixedCost(40)})
+	if got[1] < 1000 {
+		t.Fatalf("δ2 done = %d, unaffected by δ1's miss", got[1])
+	}
+	if got[1] <= got[0] {
+		t.Fatalf("root order violated: %d <= %d", got[1], got[0])
+	}
+}
+
+func TestReferenceIdleGap(t *testing.T) {
+	got := runReference(4, []sim.Cycle{0, 10_000}, []LevelCost{fixedCost(40), fixedCost(40)})
+	if got[1] != 10_000+160 {
+		t.Fatalf("post-idle persist done = %d", got[1])
+	}
+}
+
+// TestDifferentialUniformCosts: with uniform per-level costs and
+// saturated (back-to-back) arrivals, the timestamp model and the
+// lock-step reference agree exactly — arrivals mid-step would be
+// quantized to step boundaries by the lock-step scheduler, which is
+// precisely the (bounded) optimism the timestamp model introduces.
+func TestDifferentialUniformCosts(t *testing.T) {
+	r := xrand.New(11)
+	for trial := 0; trial < 30; trial++ {
+		levels := 2 + r.Intn(8)
+		n := 1 + r.Intn(30)
+		lat := sim.Cycle(1 + r.Intn(100))
+		arrivals := make([]sim.Cycle, n)
+		costs := make([]LevelCost, n)
+		for i := 0; i < n; i++ {
+			arrivals[i] = 0 // saturated
+			costs[i] = fixedCost(lat)
+		}
+		ref := runReference(levels, arrivals, costs)
+		tab := runTable(levels, arrivals, costs)
+		for i := range ref {
+			if ref[i] != tab[i] {
+				t.Fatalf("trial %d: persist %d: reference %d != table %d (levels=%d lat=%d)",
+					trial, i, ref[i], tab[i], levels, lat)
+			}
+		}
+	}
+}
+
+// TestDifferentialBound: with heterogeneous (bubbly) costs, the
+// timestamp model is an optimistic approximation of the lock-step
+// scheduler: its completions never exceed the reference's, and root
+// completions remain in persist order in both models.
+func TestDifferentialBound(t *testing.T) {
+	r := xrand.New(23)
+	for trial := 0; trial < 30; trial++ {
+		levels := 2 + r.Intn(8)
+		n := 1 + r.Intn(25)
+		arrivals := make([]sim.Cycle, n)
+		costs := make([]LevelCost, n)
+		var at sim.Cycle
+		for i := 0; i < n; i++ {
+			at += sim.Cycle(r.Intn(120))
+			arrivals[i] = at
+			base := sim.Cycle(10 + r.Intn(60))
+			missLvl := 1 + r.Intn(levels)
+			missPen := sim.Cycle(r.Intn(500))
+			if !r.Bool(0.3) {
+				missPen = 0
+			}
+			costs[i] = func(lvl int, start sim.Cycle) sim.Cycle {
+				d := start + base
+				if lvl == missLvl {
+					d += missPen
+				}
+				return d
+			}
+		}
+		ref := runReference(levels, arrivals, costs)
+		tab := runTable(levels, arrivals, costs)
+		var prevRef, prevTab sim.Cycle
+		for i := range ref {
+			if tab[i] > ref[i] {
+				t.Fatalf("trial %d persist %d: timestamp model (%d) slower than lock-step reference (%d)",
+					trial, i, tab[i], ref[i])
+			}
+			if ref[i] <= prevRef || tab[i] <= prevTab {
+				t.Fatalf("trial %d persist %d: root order violated (ref %d<=%d, tab %d<=%d)",
+					trial, i, ref[i], prevRef, tab[i], prevTab)
+			}
+			prevRef, prevTab = ref[i], tab[i]
+		}
+	}
+}
+
+// TestDifferentialTightness: the optimistic gap should be modest — for
+// realistic miss rates the timestamp model stays within a small factor
+// of the lock-step scheduler on aggregate throughput.
+func TestDifferentialTightness(t *testing.T) {
+	r := xrand.New(5)
+	const levels, n = 9, 200
+	arrivals := make([]sim.Cycle, n)
+	costs := make([]LevelCost, n)
+	var at sim.Cycle
+	for i := 0; i < n; i++ {
+		at += 40
+		arrivals[i] = at
+		miss := r.Bool(0.05) // 5% of persists suffer one 290-cycle miss
+		missLvl := 1 + r.Intn(levels)
+		costs[i] = func(lvl int, start sim.Cycle) sim.Cycle {
+			d := start + 40
+			if miss && lvl == missLvl {
+				d += 290
+			}
+			return d
+		}
+	}
+	ref := runReference(levels, arrivals, costs)
+	tab := runTable(levels, arrivals, costs)
+	last := len(ref) - 1
+	ratio := float64(ref[last]) / float64(tab[last])
+	if ratio > 1.5 {
+		t.Fatalf("lock-step reference %.2fx slower than timestamp model; approximation too loose", ratio)
+	}
+	if ratio < 1.0 {
+		t.Fatalf("reference faster than optimistic model?! ratio %.2f", ratio)
+	}
+}

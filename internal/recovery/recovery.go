@@ -1,0 +1,294 @@
+// Package recovery validates the paper's crash-recovery invariants
+// against the functional secure memory (internal/core): it drives
+// randomized write/persist schedules, crashes the machine at chosen
+// points, and classifies what a recovery observer finds.
+//
+// It demonstrates three things mechanically:
+//
+//  1. Invariant 1 (Table I): dropping any memory-tuple item from a
+//     persist produces exactly the paper's predicted failure class.
+//  2. Invariant 2 (Table II): persisting tuple items out of order
+//     across ordered persists produces the predicted failures — in
+//     particular, out-of-order BMT *root* updates break recovery,
+//     the paper's core observation about prior work.
+//  3. The PLP optimizations are safe: intra-epoch out-of-order tree
+//     updates and coalescing leave every epoch-boundary crash point
+//     recoverable, because common-ancestor updates commute (§IV-B1).
+package recovery
+
+import (
+	"fmt"
+
+	"plp/internal/addr"
+	"plp/internal/core"
+	"plp/internal/tuple"
+	"plp/internal/xrand"
+)
+
+// Report summarizes a fuzzing run.
+type Report struct {
+	// Crashes is the number of crash points exercised.
+	Crashes int
+	// Persists is the number of persists performed across all runs.
+	Persists int
+	// Failures lists human-readable descriptions of invariant
+	// violations (empty for a correct persist mechanism).
+	Failures []string
+}
+
+// OK reports whether no violations were found.
+func (r Report) OK() bool { return len(r.Failures) == 0 }
+
+func (r *Report) failf(format string, args ...interface{}) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// Config bounds a fuzzing run.
+type Config struct {
+	Seed   uint64
+	Writes int // stores per schedule
+	Blocks int // address range (blocks)
+	Levels int // BMT levels for the functional memory
+}
+
+func (c *Config) fill() {
+	if c.Writes == 0 {
+		c.Writes = 64
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 256
+	}
+	if c.Levels == 0 {
+		c.Levels = 5
+	}
+}
+
+func newMemory(c Config) *core.Memory {
+	return core.MustNew(core.Config{
+		Key:       []byte("recovery-fuzzer!"),
+		BMTLevels: c.Levels,
+		BMTArity:  8,
+	})
+}
+
+func randBlockData(r *xrand.RNG) core.BlockData {
+	var b core.BlockData
+	r.Fill(b[:])
+	return b
+}
+
+// FuzzAtomicPersists performs a random write/persist schedule with
+// fully atomic, ordered persists (the 2SP discipline), crashing after
+// every persist and verifying that recovery is clean and every
+// persisted block reads back its last persisted value.
+func FuzzAtomicPersists(cfg Config) Report {
+	cfg.fill()
+	r := xrand.New(cfg.Seed)
+	m := newMemory(cfg)
+	persisted := map[addr.Block]core.BlockData{}
+	var rep Report
+
+	for i := 0; i < cfg.Writes; i++ {
+		blk := addr.Block(r.Intn(cfg.Blocks))
+		data := randBlockData(r)
+		m.Write(blk, data)
+		m.Persist(blk)
+		persisted[blk] = data
+		rep.Persists++
+
+		// Crash here and verify on a snapshot-restored copy.
+		snap := m.Snapshot()
+		m.Crash()
+		crep := m.Recover()
+		rep.Crashes++
+		if !crep.BMTOK {
+			rep.failf("persist %d: BMT verification failed after clean crash", i)
+		}
+		for b, want := range persisted {
+			if obs := m.VerifyAgainst(b, want); !obs.Clean() {
+				rep.failf("persist %d: block %d outcome %v", i, b, obs)
+			}
+		}
+		m.RestoreSnapshot(snap)
+		m.Recover() // rebuild on-chip state to continue the schedule
+	}
+	return rep
+}
+
+// FuzzEpochOOO performs epochs of persists whose *tree updates* are
+// applied in a random (out-of-order) permutation within each epoch —
+// the o3/coalescing execution model — crashing at every epoch
+// boundary. Per §IV-B1 the final LCA and root values are
+// order-independent, so recovery must be clean at each boundary.
+func FuzzEpochOOO(cfg Config, epochSize int) Report {
+	cfg.fill()
+	if epochSize <= 0 {
+		epochSize = 8
+	}
+	r := xrand.New(cfg.Seed)
+	m := newMemory(cfg)
+	persisted := map[addr.Block]core.BlockData{}
+	var rep Report
+
+	epochs := cfg.Writes / epochSize
+	for e := 0; e < epochs; e++ {
+		// Gather the epoch's persists (distinct blocks).
+		blocks := map[addr.Block]core.BlockData{}
+		for len(blocks) < epochSize {
+			blk := addr.Block(r.Intn(cfg.Blocks))
+			blocks[blk] = randBlockData(r)
+		}
+		var pendings []*core.Pending
+		for blk, data := range blocks {
+			m.Write(blk, data)
+			pendings = append(pendings, m.Prepare(blk, data))
+			persisted[blk] = data
+			rep.Persists++
+		}
+		// Apply tree updates in a random permutation (OOO within the
+		// epoch), then commit every tuple completely.
+		for i := len(pendings) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			pendings[i], pendings[j] = pendings[j], pendings[i]
+		}
+		for _, p := range pendings {
+			m.ApplyTreeUpdate(p)
+		}
+		for _, p := range pendings {
+			m.Commit(p, tuple.Complete)
+		}
+
+		snap := m.Snapshot()
+		m.Crash()
+		crep := m.Recover()
+		rep.Crashes++
+		if !crep.BMTOK {
+			rep.failf("epoch %d: BMT verification failed at boundary crash", e)
+		}
+		for b, want := range persisted {
+			if obs := m.VerifyAgainst(b, want); !obs.Clean() {
+				rep.failf("epoch %d: block %d outcome %v", e, b, obs)
+			}
+		}
+		m.RestoreSnapshot(snap)
+		m.Recover()
+	}
+	return rep
+}
+
+// CheckTableI drops each tuple item in turn from a fresh persist and
+// verifies the observed recovery outcome equals Table I's prediction.
+// It returns one failure string per mismatching row.
+func CheckTableI(cfg Config) Report {
+	cfg.fill()
+	var rep Report
+	for _, missing := range tuple.Items() {
+		m := newMemory(cfg)
+		r := xrand.New(cfg.Seed + uint64(missing))
+		blk := addr.Block(r.Intn(cfg.Blocks))
+
+		// Old persisted version, then a partial new persist.
+		old := randBlockData(r)
+		m.Write(blk, old)
+		m.Persist(blk)
+		rep.Persists++
+		newD := randBlockData(r)
+		p := m.Prepare(blk, newD)
+		m.ApplyTreeUpdate(p)
+		m.Commit(p, tuple.Complete.Without(missing))
+
+		m.Crash()
+		crep := m.Recover()
+		rep.Crashes++
+
+		predicted := tuple.ClassifyMissing(tuple.Complete.Without(missing))
+		obs := m.VerifyAgainst(blk, newD)
+		if crep.BMTOK == (predicted&tuple.BMTFail != 0) {
+			rep.failf("missing %v: BMT outcome %v, predicted %v", missing, !crep.BMTOK, predicted)
+		}
+		if (obs&tuple.MACFail != 0) != (predicted&tuple.MACFail != 0) {
+			rep.failf("missing %v: MAC outcome %v, predicted %v", missing, obs, predicted)
+		}
+		if (obs&tuple.WrongPlaintext != 0) != (predicted&tuple.WrongPlaintext != 0) {
+			rep.failf("missing %v: plaintext outcome %v, predicted %v", missing, obs, predicted)
+		}
+	}
+	return rep
+}
+
+// CheckTupleLattice generalizes Table I to every subset of the memory
+// tuple: for each of the 16 combinations of persisted items, the
+// observed recovery outcome must equal the consistency-based
+// prediction (tuple.ClassifySubset). This is the exhaustive form of
+// Invariant 1's necessity direction — and shows that the dangerous
+// crashes are *torn* tuples, not clean losses.
+func CheckTupleLattice(cfg Config) Report {
+	cfg.fill()
+	var rep Report
+	for bits := 0; bits < 16; bits++ {
+		got := tuple.Set(bits)
+		m := newMemory(cfg)
+		r := xrand.New(cfg.Seed ^ uint64(bits)<<32)
+		blk := addr.Block(r.Intn(cfg.Blocks))
+
+		old := randBlockData(r)
+		m.Write(blk, old)
+		m.Persist(blk)
+		rep.Persists++
+		newD := randBlockData(r)
+		p := m.Prepare(blk, newD)
+		m.ApplyTreeUpdate(p)
+		m.Commit(p, got)
+
+		m.Crash()
+		crep := m.Recover()
+		rep.Crashes++
+
+		predicted := tuple.ClassifySubset(got)
+		obs := m.VerifyAgainst(blk, newD)
+		if gotBMT := !crep.BMTOK; gotBMT != (predicted&tuple.BMTFail != 0) {
+			rep.failf("subset %v: BMT failure=%v, predicted %v", got, gotBMT, predicted)
+		}
+		if gotMAC := obs&tuple.MACFail != 0; gotMAC != (predicted&tuple.MACFail != 0) {
+			rep.failf("subset %v: MAC failure=%v, predicted %v", got, gotMAC, predicted)
+		}
+		if gotWP := obs&tuple.WrongPlaintext != 0; gotWP != (predicted&tuple.WrongPlaintext != 0) {
+			rep.failf("subset %v: wrong-plaintext=%v, predicted %v", got, gotWP, predicted)
+		}
+	}
+	return rep
+}
+
+// CheckRootOrderViolation reproduces Table II's R1→R2 row: two ordered
+// persists whose BMT root updates are applied out of order, crashing
+// between them. Recovery must detect it (BMT failure). The returned
+// report fails if recovery does NOT flag the violation — i.e. it
+// validates that the invariant matters, which is what separates the
+// `unordered` scheme from the PLP schemes.
+func CheckRootOrderViolation(cfg Config) Report {
+	cfg.fill()
+	var rep Report
+	m := newMemory(cfg)
+	r := xrand.New(cfg.Seed)
+
+	blk1 := addr.Block(r.Intn(cfg.Blocks))
+	blk2 := blk1 + addr.Block(addr.BlocksPerPage) // different page
+	d1, d2 := randBlockData(r), randBlockData(r)
+
+	p1 := m.Prepare(blk1, d1)
+	p2 := m.Prepare(blk2, d2)
+	// Violation: α2's tree update is applied (and its root persisted)
+	// before α1's, while α1's other tuple items persist.
+	m.ApplyTreeUpdate(p2)
+	m.Commit(p1, tuple.Complete.Without(tuple.Root))
+	m.Commit(p2, tuple.Set(0).With(tuple.Root))
+	rep.Persists += 2
+
+	m.Crash()
+	crep := m.Recover()
+	rep.Crashes++
+	if crep.BMTOK {
+		rep.failf("root-order violation not detected: BMT verification passed")
+	}
+	return rep
+}

@@ -1,0 +1,86 @@
+package recovery
+
+import "testing"
+
+func TestFuzzAtomicPersistsClean(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		rep := FuzzAtomicPersists(Config{Seed: seed, Writes: 48})
+		if !rep.OK() {
+			t.Fatalf("seed %d: %v", seed, rep.Failures)
+		}
+		if rep.Crashes != 48 || rep.Persists != 48 {
+			t.Fatalf("seed %d: crashes=%d persists=%d", seed, rep.Crashes, rep.Persists)
+		}
+	}
+}
+
+func TestFuzzEpochOOOClean(t *testing.T) {
+	// Out-of-order tree updates within epochs must stay recoverable at
+	// every epoch boundary (§IV-B1: common-ancestor updates commute).
+	for seed := uint64(10); seed < 13; seed++ {
+		rep := FuzzEpochOOO(Config{Seed: seed, Writes: 64}, 8)
+		if !rep.OK() {
+			t.Fatalf("seed %d: %v", seed, rep.Failures)
+		}
+		if rep.Crashes == 0 {
+			t.Fatal("no epoch boundaries exercised")
+		}
+	}
+}
+
+func TestCheckTableIMatchesPredictions(t *testing.T) {
+	rep := CheckTableI(Config{Seed: 99})
+	if !rep.OK() {
+		t.Fatalf("Table I mismatches: %v", rep.Failures)
+	}
+	if rep.Crashes != 4 {
+		t.Fatalf("crashes = %d, want 4 (one per tuple item)", rep.Crashes)
+	}
+}
+
+func TestRootOrderViolationDetected(t *testing.T) {
+	rep := CheckRootOrderViolation(Config{Seed: 7})
+	if !rep.OK() {
+		t.Fatalf("violation not detected: %v", rep.Failures)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	var r Report
+	if !r.OK() {
+		t.Fatal("empty report not OK")
+	}
+	r.failf("x %d", 1)
+	if r.OK() || r.Failures[0] != "x 1" {
+		t.Fatalf("failf broken: %v", r.Failures)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	c.fill()
+	if c.Writes == 0 || c.Blocks == 0 || c.Levels == 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestFuzzSmallEpochSizeDefaults(t *testing.T) {
+	rep := FuzzEpochOOO(Config{Seed: 1, Writes: 16}, 0) // epochSize defaulted
+	if !rep.OK() {
+		t.Fatalf("failures: %v", rep.Failures)
+	}
+}
+
+func TestCheckTupleLatticeAllSubsets(t *testing.T) {
+	// Every one of the 16 persist subsets must produce exactly the
+	// failure class Table I's rows predict (by union).
+	for seed := uint64(0); seed < 3; seed++ {
+		rep := CheckTupleLattice(Config{Seed: seed})
+		if !rep.OK() {
+			t.Fatalf("seed %d: %v", seed, rep.Failures)
+		}
+		if rep.Crashes != 16 {
+			t.Fatalf("crashes = %d, want 16", rep.Crashes)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package sgxtree
+
+import (
+	"testing"
+
+	"plp/internal/bmt"
+	"plp/internal/xrand"
+)
+
+func newTree() *Tree {
+	return New(bmt.MustNewTopology(4, 8), []byte("sgx-test-key"))
+}
+
+func TestFullPathPersistRecovers(t *testing.T) {
+	tr := newTree()
+	path := tr.Update(5, 3)
+	tr.PersistPath(path)
+	tr.Crash()
+	if bad, ok := tr.Verify(); !ok {
+		t.Fatalf("clean whole-path persist failed verification at %d", bad)
+	}
+	if tr.CounterOf(5, 3) != 1 {
+		t.Fatalf("counter = %d after recovery", tr.CounterOf(5, 3))
+	}
+}
+
+func TestPathLengthEqualsLevels(t *testing.T) {
+	tr := newTree()
+	path := tr.Update(0, 0)
+	if len(path) != 4 {
+		t.Fatalf("path length = %d", len(path))
+	}
+	if tr.NodeWrites != 0 {
+		t.Fatal("update should not persist by itself")
+	}
+	tr.PersistPath(path)
+	if tr.NodeWrites != 4 {
+		t.Fatalf("node writes = %d, want 4 (whole path persists!)", tr.NodeWrites)
+	}
+}
+
+// TestDroppingAnyPathNodeBreaksRecovery is the §IV-D contrast with the
+// BMT: for a counter tree, EVERY node on the update path must persist;
+// losing even one interior node breaks the MAC chain.
+func TestDroppingAnyPathNodeBreaksRecovery(t *testing.T) {
+	base := newTree()
+	// Establish a fully persisted prior state so "stale" versions exist.
+	p0 := base.Update(5, 3)
+	base.PersistPath(p0)
+
+	topoLevels := 4
+	for drop := 0; drop < topoLevels; drop++ {
+		tr := newTree()
+		p := tr.Update(5, 3)
+		tr.PersistPath(p)
+		// Second update, persist everything EXCEPT path[drop].
+		p2 := tr.Update(5, 3)
+		for i, l := range p2 {
+			if i != drop {
+				tr.PersistNode(l)
+			}
+		}
+		tr.Crash()
+		if _, ok := tr.Verify(); ok {
+			t.Errorf("dropping path node %d (level %d) went undetected", drop, topoLevels-drop)
+		}
+	}
+}
+
+func TestUnrelatedSubtreesUnaffected(t *testing.T) {
+	tr := newTree()
+	pA := tr.Update(0, 0)
+	tr.PersistPath(pA)
+	pB := tr.Update(511, 7) // opposite side of the tree
+	tr.PersistPath(pB)
+	tr.Crash()
+	if bad, ok := tr.Verify(); !ok {
+		t.Fatalf("two independent persisted paths failed at %d", bad)
+	}
+}
+
+func TestCountersIncrementAlongPath(t *testing.T) {
+	tr := newTree()
+	tr.Update(0, 0)
+	tr.Update(0, 0)
+	if got := tr.CounterOf(0, 0); got != 2 {
+		t.Fatalf("leaf counter = %d", got)
+	}
+	// The root's slot covering this subtree must have incremented too.
+	if tr.vroot.Ctrs[0] != 2 {
+		t.Fatalf("root counter slot = %d", tr.vroot.Ctrs[0])
+	}
+}
+
+func TestTamperedCounterDetected(t *testing.T) {
+	tr := newTree()
+	p := tr.Update(9, 1)
+	tr.PersistPath(p)
+	// Adversary bumps a persisted leaf counter without fixing MACs.
+	leaf := p[0]
+	tr.nvm[leaf].Ctrs[1]++
+	tr.Crash()
+	if _, ok := tr.Verify(); ok {
+		t.Fatal("tampered counter accepted")
+	}
+}
+
+func TestReplayedNodeDetected(t *testing.T) {
+	tr := newTree()
+	p := tr.Update(9, 1)
+	tr.PersistPath(p)
+	stale := tr.nvm[p[0]].clone() // snapshot leaf node
+	p2 := tr.Update(9, 1)
+	tr.PersistPath(p2)
+	tr.nvm[p2[0]] = stale // replay the stale leaf
+	tr.Crash()
+	if _, ok := tr.Verify(); ok {
+		t.Fatal("replayed node accepted: parent counter should mismatch")
+	}
+}
+
+func TestManyRandomUpdatesStayConsistent(t *testing.T) {
+	tr := newTree()
+	r := xrand.New(7)
+	for i := 0; i < 300; i++ {
+		li := uint64(r.Intn(512))
+		slot := r.Intn(8)
+		tr.PersistPath(tr.Update(li, slot))
+	}
+	tr.Crash()
+	if bad, ok := tr.Verify(); !ok {
+		t.Fatalf("random persisted workload failed at %d", bad)
+	}
+}
+
+func TestVerifyRebuildsUsableState(t *testing.T) {
+	tr := newTree()
+	tr.PersistPath(tr.Update(3, 2))
+	tr.Crash()
+	if _, ok := tr.Verify(); !ok {
+		t.Fatal("verify failed")
+	}
+	// Continue using the tree after recovery.
+	tr.PersistPath(tr.Update(3, 2))
+	tr.Crash()
+	if _, ok := tr.Verify(); !ok {
+		t.Fatal("second generation failed")
+	}
+	if tr.CounterOf(3, 2) != 2 {
+		t.Fatalf("counter = %d", tr.CounterOf(3, 2))
+	}
+}
+
+func TestPersistedNodesCount(t *testing.T) {
+	tr := newTree()
+	tr.PersistPath(tr.Update(0, 0))
+	// Path is 4 nodes but the root goes to the register, not the map.
+	if got := tr.PersistedNodes(); got != 3 {
+		t.Fatalf("persisted nodes = %d, want 3", got)
+	}
+}
+
+// TestBMTComparison quantifies the §IV-D cost argument: per persist,
+// the counter tree must write `levels` nodes where the BMT writes one
+// counter block and updates only the on-chip root.
+func TestBMTComparison(t *testing.T) {
+	tr := newTree()
+	const persists = 100
+	for i := 0; i < persists; i++ {
+		tr.PersistPath(tr.Update(uint64(i%512), i%8))
+	}
+	perPersist := float64(tr.NodeWrites) / persists
+	if perPersist != 4 {
+		t.Fatalf("counter tree writes %.1f nodes per persist, want levels=4", perPersist)
+	}
+}
+
+func BenchmarkUpdatePersist(b *testing.B) {
+	tr := New(bmt.MustNewTopology(9, 8), []byte("k"))
+	for i := 0; i < b.N; i++ {
+		tr.PersistPath(tr.Update(uint64(i%4096), i%8))
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+// Resource is a timestamp-based model of a serially shared hardware
+// resource: a unit with a fixed initiation interval (inverse issue
+// bandwidth) and a fixed service latency, not tied to the event loop.
+//
+// Timing models that never need to *react* to completions — only to
+// compute when things finish — use Resource for timestamp propagation,
+// which is faster and simpler than event callbacks: queueing delay
+// emerges from max(ready, nextFree).
+type Resource struct {
+	// Latency is the service time of one request.
+	Latency Cycle
+	// Initiation is the minimum spacing between request starts
+	// (Initiation == Latency models a non-pipelined unit;
+	// Initiation == 1 a fully pipelined one; 0 an infinitely wide one).
+	Initiation Cycle
+
+	nextFree Cycle
+
+	// Uses counts requests; Busy accumulates occupied time.
+	Uses uint64
+	Busy Cycle
+}
+
+// Acquire schedules a request that becomes ready at cycle ready,
+// returning when it starts service and when it completes.
+func (r *Resource) Acquire(ready Cycle) (start, done Cycle) {
+	start = ready
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	r.nextFree = start + r.Initiation
+	r.Uses++
+	r.Busy += r.Initiation
+	return start, start + r.Latency
+}
+
+// NextFree returns the earliest start time for a request ready now.
+func (r *Resource) NextFree() Cycle { return r.nextFree }
+
+// Reset clears the schedule (not the stats).
+func (r *Resource) Reset() { r.nextFree = 0 }

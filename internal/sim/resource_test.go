@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+func TestResourceSerial(t *testing.T) {
+	r := Resource{Latency: 40, Initiation: 40}
+	s1, d1 := r.Acquire(0)
+	s2, d2 := r.Acquire(0)
+	if s1 != 0 || d1 != 40 || s2 != 40 || d2 != 80 {
+		t.Fatalf("got (%d,%d) (%d,%d)", s1, d1, s2, d2)
+	}
+}
+
+func TestResourcePipelined(t *testing.T) {
+	r := Resource{Latency: 40, Initiation: 1}
+	_, d1 := r.Acquire(0)
+	_, d2 := r.Acquire(0)
+	if d1 != 40 || d2 != 41 {
+		t.Fatalf("d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	r := Resource{Latency: 10, Initiation: 10}
+	r.Acquire(0)
+	s, d := r.Acquire(100) // arrives after idle period
+	if s != 100 || d != 110 {
+		t.Fatalf("s=%d d=%d", s, d)
+	}
+}
+
+func TestResourceInfiniteWidth(t *testing.T) {
+	r := Resource{Latency: 10, Initiation: 0}
+	_, d1 := r.Acquire(5)
+	_, d2 := r.Acquire(5)
+	if d1 != 15 || d2 != 15 {
+		t.Fatalf("d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	r := Resource{Latency: 10, Initiation: 10}
+	r.Acquire(0)
+	r.Acquire(0)
+	if r.Uses != 2 || r.Busy != 20 {
+		t.Fatalf("uses=%d busy=%d", r.Uses, r.Busy)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := Resource{Latency: 10, Initiation: 10}
+	r.Acquire(0)
+	r.Reset()
+	if s, _ := r.Acquire(0); s != 0 {
+		t.Fatalf("start after reset = %d", s)
+	}
+}
+
+func TestResourceNextFree(t *testing.T) {
+	r := Resource{Latency: 10, Initiation: 10}
+	if r.NextFree() != 0 {
+		t.Fatal("fresh resource not free at 0")
+	}
+	r.Acquire(5)
+	if r.NextFree() != 15 {
+		t.Fatalf("NextFree = %d, want 15", r.NextFree())
+	}
+}

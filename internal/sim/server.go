@@ -1,0 +1,76 @@
+package sim
+
+// Server models a hardware functional unit with a fixed service
+// latency and a fixed initiation interval, fed by an unbounded FIFO.
+//
+//   - A non-pipelined unit (e.g. a single MAC engine that must finish
+//     one hash before starting the next) has Initiation == Latency.
+//   - A fully pipelined unit accepts one new operation per cycle
+//     (Initiation == 1) while each operation still takes Latency
+//     cycles to produce its result.
+//
+// Latency == 0 is allowed and models an ideal unit: completions are
+// delivered in the same cycle they are submitted.
+type Server struct {
+	eng        *Engine
+	latency    Cycle
+	initiation Cycle
+	nextIssue  Cycle // earliest cycle the next request may begin service
+
+	// Stats
+	Submitted uint64
+	Completed uint64
+	BusyTime  Cycle
+}
+
+// NewServer creates a server on engine eng. initiation must be >= 1
+// unless latency is also 0 (ideal unit).
+func NewServer(eng *Engine, latency, initiation Cycle) *Server {
+	if latency > 0 && initiation == 0 {
+		initiation = 1
+	}
+	return &Server{eng: eng, latency: latency, initiation: initiation}
+}
+
+// Latency returns the configured service latency.
+func (s *Server) Latency() Cycle { return s.latency }
+
+// Submit enqueues a request; done is invoked when service completes.
+// Returns the cycle at which the request will complete.
+func (s *Server) Submit(done Event) Cycle {
+	s.Submitted++
+	now := s.eng.Now()
+	if s.latency == 0 && s.initiation == 0 {
+		// Ideal unit: complete immediately (still via the event list so
+		// same-cycle ordering stays deterministic).
+		s.Completed++
+		s.eng.Schedule(0, done)
+		return now
+	}
+	start := now
+	if s.nextIssue > start {
+		start = s.nextIssue
+	}
+	s.nextIssue = start + s.initiation
+	finish := start + s.latency
+	s.BusyTime += s.initiation
+	s.eng.At(finish, func() {
+		s.Completed++
+		done()
+	})
+	return finish
+}
+
+// NextFree returns the earliest cycle a newly submitted request would
+// begin service.
+func (s *Server) NextFree() Cycle {
+	now := s.eng.Now()
+	if s.nextIssue > now {
+		return s.nextIssue
+	}
+	return now
+}
+
+// QueueDelay returns how long a request submitted now would wait
+// before beginning service.
+func (s *Server) QueueDelay() Cycle { return s.NextFree() - s.eng.Now() }

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a power-of-two-bucketed latency histogram: bucket i
+// counts samples in [2^(i-1), 2^i) (bucket 0 counts zeros and ones).
+// It supports exact count/sum plus approximate percentiles, which is
+// what the persist-latency reporting needs.
+type Histogram struct {
+	buckets [48]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound of the p-th percentile (0 < p <=
+// 100): the top of the bucket containing it.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := uint64(p / 100 * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 1
+			}
+			top := uint64(1)<<uint(i) - 1
+			if top > h.max {
+				top = h.max
+			}
+			return top
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String renders a compact summary plus a bar chart of occupied
+// buckets.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "histogram: n=%d mean=%.1f p50<=%d p90<=%d p99<=%d max=%d\n",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99), h.max)
+	var peak uint64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i-1)
+		}
+		bar := int(c * 40 / peak)
+		fmt.Fprintf(&b, "  [%8d, %8d)  %8d %s\n", lo, uint64(1)<<uint(i), c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "histogram: empty" {
+		t.Fatalf("empty string: %q", h.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	want := (1.0 + 2 + 3 + 100 + 1000) / 5
+	if h.Mean() != want {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	// p50 upper bound must be >= true median and <= max.
+	p50 := h.Percentile(50)
+	if p50 < 500 || p50 > 1000 {
+		t.Fatalf("p50 = %d", p50)
+	}
+	p100 := h.Percentile(100)
+	if p100 != 1000 {
+		t.Fatalf("p100 = %d", p100)
+	}
+	if h.Percentile(1) > h.Percentile(99) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestPercentileClamps(t *testing.T) {
+	var h Histogram
+	h.Add(7)
+	if h.Percentile(-5) == 0 && h.Percentile(200) == 0 {
+		t.Fatal("clamped percentiles returned zero for nonempty histogram")
+	}
+}
+
+func TestPropertyPercentileIsUpperBound(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		var max uint64
+		for _, v := range raw {
+			h.Add(uint64(v))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		// Every percentile is <= max (possibly capped at max) and
+		// monotone in p.
+		prev := uint64(0)
+		for p := 10.0; p <= 100; p += 10 {
+			v := h.Percentile(p)
+			if v > max || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(10)
+	b.Add(1000)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 1000 {
+		t.Fatalf("merge: count=%d max=%d", a.Count(), a.Max())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(uint64(i * 13))
+	}
+	s := h.String()
+	if !strings.Contains(s, "n=100") || !strings.Contains(s, "#") {
+		t.Fatalf("render: %s", s)
+	}
+}

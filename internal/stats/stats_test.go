@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestGeoMeanBasics(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty gmean")
+	}
+	if got := GeoMean([]float64{4, 1}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("gmean = %v", got)
+	}
+	if got := GeoMean([]float64{7}); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("gmean single = %v", got)
+	}
+}
+
+func TestGeoMeanNonPositive(t *testing.T) {
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Fatal("gmean of zero should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Fatal("gmean of negative should be NaN")
+	}
+}
+
+func TestGeoMeanLeqArithMean(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1 // positive
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{10, 20}, []float64{5, 10})
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("normalize = %v", got)
+	}
+	if !math.IsNaN(Normalize([]float64{1}, []float64{0})[0]) {
+		t.Fatal("divide by zero should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("bench", "sp", "pipeline")
+	tab.AddFloats("gamess", "%.2f", 45.30, 6.04)
+	tab.AddRow("milc", "3.46")
+	s := tab.String()
+	if !strings.Contains(s, "gamess") || !strings.Contains(s, "45.30") {
+		t.Fatalf("table missing data:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	// Columns aligned: all lines the same leading column width.
+	if !strings.HasPrefix(lines[1], "------") {
+		t.Fatalf("missing separator:\n%s", s)
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("1", "2", "3")
+	if strings.Contains(tab.String(), "3") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("x", "1")
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| --- | --- |") ||
+		!strings.Contains(md, "| x | 1 |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+}

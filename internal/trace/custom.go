@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProfileSpec builds a custom workload profile from a compact
+// key=value spec, for studying workloads beyond the 15 SPEC-calibrated
+// ones (e.g. a write-hungry KV store or a log-structured workload):
+//
+//	name=kv,ipc=1.2,stores=80,stack=0.1,distinct=30,wb=5,loads=250,thrash=1,seed=7
+//
+// Keys:
+//
+//	name     workload name (default "custom")
+//	ipc      baseline core IPC (> 0, default 1)
+//	stores   total stores per kilo-instruction (> 0, required)
+//	stack    fraction of stores to the stack [0, 1) (default 0)
+//	distinct distinct-blocks-per-epoch-32 rate, PKI (default = non-stack rate)
+//	wb       target LLC writeback rate, PKI (default 0)
+//	loads    loads per kilo-instruction (default 250)
+//	thrash   1 = streaming loads (working set >> LLC), 0 = resident (default 0)
+//	seed     trace RNG seed (default 1)
+func ParseProfileSpec(spec string) (Profile, error) {
+	p := Profile{Name: "custom", IPC: 1, LoadsPKI: 250, Seed: 1}
+	var stores, stack, distinct, wb float64
+	distinctSet := false
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			return Profile{}, fmt.Errorf("trace: bad field %q (want key=value)", field)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "name":
+			p.Name = val
+		case "ipc", "stores", "stack", "distinct", "wb", "loads":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("trace: %s: %v", key, err)
+			}
+			switch key {
+			case "ipc":
+				p.IPC = f
+			case "stores":
+				stores = f
+			case "stack":
+				stack = f
+			case "distinct":
+				distinct = f
+				distinctSet = true
+			case "wb":
+				wb = f
+			case "loads":
+				p.LoadsPKI = f
+			}
+		case "thrash":
+			p.ThrashLLC = val == "1" || val == "true"
+		case "seed":
+			u, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("trace: seed: %v", err)
+			}
+			p.Seed = u
+		default:
+			return Profile{}, fmt.Errorf("trace: unknown key %q", key)
+		}
+	}
+	if stores <= 0 {
+		return Profile{}, fmt.Errorf("trace: spec requires stores > 0")
+	}
+	if p.IPC <= 0 {
+		return Profile{}, fmt.Errorf("trace: ipc must be > 0")
+	}
+	if stack < 0 || stack >= 1 {
+		return Profile{}, fmt.Errorf("trace: stack fraction %v out of [0, 1)", stack)
+	}
+	nonStack := stores * (1 - stack)
+	if !distinctSet {
+		distinct = nonStack
+	}
+	if distinct <= 0 || distinct > nonStack {
+		return Profile{}, fmt.Errorf("trace: distinct %v out of (0, %v]", distinct, nonStack)
+	}
+	if wb < 0 || wb > nonStack {
+		return Profile{}, fmt.Errorf("trace: wb %v out of [0, %v]", wb, nonStack)
+	}
+	p.Paper = PaperTableV{
+		SpFull: stores,
+		WBFull: wb,
+		Sp:     nonStack,
+		O3:     distinct,
+	}
+	return p, nil
+}

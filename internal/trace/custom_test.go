@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseProfileSpecFull(t *testing.T) {
+	p, err := ParseProfileSpec("name=kv,ipc=1.2,stores=80,stack=0.1,distinct=30,wb=5,loads=300,thrash=1,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "kv" || p.IPC != 1.2 || p.LoadsPKI != 300 || !p.ThrashLLC || p.Seed != 7 {
+		t.Fatalf("parsed: %+v", p)
+	}
+	if p.Paper.SpFull != 80 || p.Paper.WBFull != 5 || p.Paper.O3 != 30 {
+		t.Fatalf("rates: %+v", p.Paper)
+	}
+	if math.Abs(p.Paper.Sp-72) > 1e-9 { // 80 * (1-0.1)
+		t.Fatalf("non-stack = %v", p.Paper.Sp)
+	}
+}
+
+func TestParseProfileSpecDefaults(t *testing.T) {
+	p, err := ParseProfileSpec("stores=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "custom" || p.IPC != 1 || p.Seed != 1 || p.ThrashLLC {
+		t.Fatalf("defaults: %+v", p)
+	}
+	if p.Paper.O3 != 50 { // distinct defaults to non-stack rate
+		t.Fatalf("distinct default = %v", p.Paper.O3)
+	}
+	if p.StackFrac() != 0 {
+		t.Fatalf("stack frac = %v", p.StackFrac())
+	}
+}
+
+func TestParseProfileSpecErrors(t *testing.T) {
+	bad := []string{
+		"",                          // no stores
+		"stores=0",                  // non-positive
+		"stores=50,ipc=0",           // bad ipc
+		"stores=50,stack=1",         // stack out of range
+		"stores=50,distinct=60",     // distinct > non-stack
+		"stores=50,wb=60",           // wb > non-stack
+		"stores=50,bogus=1",         // unknown key
+		"stores=50,ipc=abc",         // parse error
+		"stores",                    // no =
+		"stores=50,seed=notanumber", // bad seed
+	}
+	for _, spec := range bad {
+		if _, err := ParseProfileSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestCustomProfileGenerates(t *testing.T) {
+	p, err := ParseProfileSpec("name=x,stores=40,distinct=15,wb=2,thrash=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(p)
+	for g.Instructions < 2_000_000 {
+		g.Next()
+	}
+	gotPKI := float64(g.Stores) / (float64(g.Instructions) / 1000)
+	if math.Abs(gotPKI-40)/40 > 0.1 {
+		t.Fatalf("store PPKI = %v, want ~40", gotPKI)
+	}
+}
+
+func TestCustomProfileSpacesTolerated(t *testing.T) {
+	if _, err := ParseProfileSpec(" stores = 10 , ipc = 2 "); err != nil {
+		t.Fatal(err)
+	}
+}

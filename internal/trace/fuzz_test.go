@@ -1,0 +1,45 @@
+package trace
+
+import "testing"
+
+// FuzzParseProfileSpec hardens the workload-spec parser: arbitrary
+// strings must never panic, and any accepted spec must produce a
+// profile whose generator runs without violating its invariants.
+func FuzzParseProfileSpec(f *testing.F) {
+	f.Add("stores=50")
+	f.Add("name=kv,ipc=1.2,stores=80,stack=0.1,distinct=30,wb=5,loads=300,thrash=1,seed=7")
+	f.Add("stores=50,stack=0.999999")
+	f.Add("stores=0.0001")
+	f.Add(",,,=,==")
+	f.Add("stores=1e300,ipc=1e-300")
+	f.Add("stores=NaN")
+	f.Add("stores=-5")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseProfileSpec(spec)
+		if err != nil {
+			return
+		}
+		// Accepted: validated fields must be internally consistent...
+		if p.IPC <= 0 || p.Paper.SpFull <= 0 {
+			t.Fatalf("accepted spec with invalid rates: %+v", p)
+		}
+		if p.StackFrac() < 0 || p.StackFrac() >= 1 {
+			t.Fatalf("accepted spec with bad stack fraction: %v", p.StackFrac())
+		}
+		if p.EpochRepeatProb() < 0 || p.EpochRepeatProb() > 1 {
+			t.Fatalf("repeat prob out of range: %v", p.EpochRepeatProb())
+		}
+		if p.EpochRepeatProb()+p.StreamProb() > 1+1e-9 {
+			t.Fatalf("probabilities exceed 1: %v + %v", p.EpochRepeatProb(), p.StreamProb())
+		}
+		// ...and the generator must produce in-map addresses.
+		g := NewGenerator(p)
+		for i := 0; i < 2000; i++ {
+			op := g.Next()
+			if uint64(op.Block) >= TotalBlocks {
+				t.Fatalf("address %d out of map", op.Block)
+			}
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"plp/internal/addr"
+)
+
+// run generates ops until the given instruction count.
+func run(g *Generator, instrs uint64) []Op {
+	var ops []Op
+	for g.Instructions < instrs {
+		ops = append(ops, g.Next())
+	}
+	return ops
+}
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 15 {
+		t.Fatalf("profiles = %d, want 15 (paper's benchmark set)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.IPC <= 0 || p.Paper.SpFull <= 0 {
+			t.Fatalf("%s: non-positive IPC or store rate", p.Name)
+		}
+		if p.StackFrac() < 0 || p.StackFrac() >= 1 {
+			t.Fatalf("%s: stack fraction %v out of range", p.Name, p.StackFrac())
+		}
+		if p.EpochRepeatProb()+p.StreamProb() > 1 {
+			t.Fatalf("%s: locality probabilities exceed 1", p.Name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("gamess"); !ok {
+		t.Fatal("gamess missing")
+	}
+	if _, ok := ProfileByName("nonesuch"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestGamessPaperValues(t *testing.T) {
+	// Spot-check verbatim Table V transcription and the paper's quoted
+	// gamess IPC.
+	p, _ := ProfileByName("gamess")
+	if p.Paper.Sp != 51.38 || p.Paper.SpFull != 100.72 || p.IPC != 2.45 {
+		t.Fatalf("gamess profile: %+v", p)
+	}
+	if p.Paper.WBFull != 0 {
+		t.Fatal("gamess writebacks should be 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	a := run(NewGenerator(p), 100000)
+	b := run(NewGenerator(p), 100000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestStoreRateMatchesProfile(t *testing.T) {
+	for _, name := range []string{"gamess", "sphinx3", "bwaves"} {
+		p, _ := ProfileByName(name)
+		g := NewGenerator(p)
+		const instrs = 2_000_000
+		run(g, instrs)
+		gotPKI := float64(g.Stores) / (float64(g.Instructions) / 1000)
+		if math.Abs(gotPKI-p.Paper.SpFull)/p.Paper.SpFull > 0.10 {
+			t.Errorf("%s: store PPKI = %.2f, want ~%.2f", name, gotPKI, p.Paper.SpFull)
+		}
+	}
+}
+
+func TestStackFractionMatches(t *testing.T) {
+	p, _ := ProfileByName("astar") // high stack fraction (84%)
+	g := NewGenerator(p)
+	run(g, 2_000_000)
+	got := float64(g.StackStores) / float64(g.Stores)
+	if math.Abs(got-p.StackFrac()) > 0.05 {
+		t.Fatalf("stack frac = %v, want ~%v", got, p.StackFrac())
+	}
+}
+
+func TestEpochDistinctBlocksApproximatesO3(t *testing.T) {
+	// Count distinct non-stack blocks per 32-store epoch; the rate per
+	// kilo-instruction should be in the neighbourhood of Table V's o3
+	// column (the generator's central calibration).
+	for _, name := range []string{"gamess", "namd", "gcc", "astar"} {
+		p, _ := ProfileByName(name)
+		g := NewGenerator(p)
+		const instrs = 4_000_000
+		distinct := 0
+		inEpoch := map[addr.Block]bool{}
+		nonStack := 0
+		for g.Instructions < instrs {
+			op := g.Next()
+			if op.Kind != OpStore || op.Stack {
+				continue
+			}
+			nonStack++
+			if !inEpoch[op.Block] {
+				inEpoch[op.Block] = true
+				distinct++
+			}
+			if nonStack%32 == 0 {
+				inEpoch = map[addr.Block]bool{}
+			}
+		}
+		gotPKI := float64(distinct) / (float64(g.Instructions) / 1000)
+		if p.Paper.O3 == 0 {
+			continue
+		}
+		ratio := gotPKI / p.Paper.O3
+		if ratio < 0.6 || ratio > 1.7 {
+			t.Errorf("%s: epoch-distinct PPKI = %.2f, paper o3 = %.2f (ratio %.2f)",
+				name, gotPKI, p.Paper.O3, ratio)
+		}
+	}
+}
+
+func TestAddressesWithinMap(t *testing.T) {
+	p, _ := ProfileByName("milc")
+	g := NewGenerator(p)
+	for i := 0; i < 200000; i++ {
+		op := g.Next()
+		if uint64(op.Block) >= TotalBlocks {
+			t.Fatalf("block %d outside address map (%d)", op.Block, uint64(TotalBlocks))
+		}
+		if op.Stack && uint64(op.Block) < stackBase {
+			t.Fatal("stack store outside stack segment")
+		}
+	}
+}
+
+func TestStreamStoresHaveSpatialLocality(t *testing.T) {
+	// Streaming stores advance sequentially, so consecutive stream
+	// blocks share pages — the locality coalescing exploits.
+	p, _ := ProfileByName("bwaves")
+	g := NewGenerator(p)
+	samePage := 0
+	var prev addr.Block
+	var havePrev bool
+	n := 0
+	for i := 0; i < 500000 && n < 2000; i++ {
+		op := g.Next()
+		if op.Kind != OpStore || op.Stack || uint64(op.Block) < streamBase ||
+			uint64(op.Block) >= streamBase+streamBlocks {
+			continue
+		}
+		if havePrev && addr.PageOfBlock(op.Block) == addr.PageOfBlock(prev) {
+			samePage++
+		}
+		prev, havePrev = op.Block, true
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no stream stores observed")
+	}
+	if frac := float64(samePage) / float64(n); frac < 0.5 {
+		t.Fatalf("stream same-page fraction = %v, want >= 0.5", frac)
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	p, _ := ProfileByName("gobmk")
+	g := NewGenerator(p)
+	var sum uint64
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		sum += uint64(op.Gap) + 1
+	}
+	if sum != g.Instructions {
+		t.Fatalf("instruction accounting: %d vs %d", sum, g.Instructions)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	p, _ := ProfileByName("gcc")
+	g := NewGenerator(p)
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

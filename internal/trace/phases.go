@@ -1,0 +1,89 @@
+package trace
+
+// Phase scales a profile's behaviour for a window of instructions.
+// Real SPEC benchmarks are phased — long stretches of streaming
+// alternate with compute-dense regions — and persist mechanisms react
+// to those swings (epoch dedup rates change, WPQ pressure comes in
+// bursts). A phased source cycles through its phases, applying each
+// scale to the base profile.
+type Phase struct {
+	// Instructions is the phase length.
+	Instructions uint64
+	// StoreScale multiplies the store rate (1 = unchanged). The load
+	// rate absorbs the difference so total memory ops stay put.
+	StoreScale float64
+	// RepeatScale multiplies the repeat (reuse) probability, clamped
+	// to [0, 0.98]: >1 makes the phase persist-friendlier (fewer
+	// distinct blocks), <1 makes it churn.
+	RepeatScale float64
+}
+
+// PhasedSource wraps a Generator, modulating its behaviour per phase.
+// It implements Source.
+type PhasedSource struct {
+	gen    *Generator
+	phases []Phase
+	idx    int
+	left   uint64
+
+	// PhaseSwitches counts completed phases.
+	PhaseSwitches uint64
+}
+
+// NewPhasedSource builds a phased source over profile p. The phase
+// list must be non-empty; zero-instruction phases are skipped.
+func NewPhasedSource(p Profile, phases []Phase) *PhasedSource {
+	ps := &PhasedSource{gen: NewGenerator(p), phases: phases}
+	ps.enter(0)
+	return ps
+}
+
+func (ps *PhasedSource) enter(i int) {
+	ps.idx = i % len(ps.phases)
+	ps.left = ps.phases[ps.idx].Instructions
+	ph := ps.phases[ps.idx]
+
+	// Re-derive the generator's mixing parameters for this phase.
+	p := ps.gen.p
+	base := p.StoresPKI()
+	scaled := base * ph.StoreScale
+	total := base + p.LoadsPKI // keep total op rate constant
+	if scaled > total {
+		scaled = total
+	}
+	ps.gen.storeFrac = scaled / total
+	ps.gen.repeatScale = ph.RepeatScale
+}
+
+// Next returns the next operation, switching phases on schedule.
+func (ps *PhasedSource) Next() Op {
+	op := ps.gen.Next()
+	adv := uint64(op.Gap) + 1
+	if adv >= ps.left {
+		ps.PhaseSwitches++
+		ps.enter(ps.idx + 1)
+	} else {
+		ps.left -= adv
+	}
+	return op
+}
+
+// Progress returns instructions represented so far.
+func (ps *PhasedSource) Progress() uint64 { return ps.gen.Instructions }
+
+// Stores returns the store count so far.
+func (ps *PhasedSource) Stores() uint64 { return ps.gen.Stores }
+
+// Phase returns the index of the current phase.
+func (ps *PhasedSource) Phase() int { return ps.idx }
+
+var _ Source = (*PhasedSource)(nil)
+
+// Burst is a convenience two-phase pattern: a persist-heavy burst
+// (stores×burstScale, churn reuse) followed by a quiet stretch.
+func Burst(burstInstr, quietInstr uint64, burstScale float64) []Phase {
+	return []Phase{
+		{Instructions: burstInstr, StoreScale: burstScale, RepeatScale: 0.5},
+		{Instructions: quietInstr, StoreScale: 1 / burstScale, RepeatScale: 1.5},
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"testing"
+
+	"plp/internal/addr"
+)
+
+func TestPhasedSourceSwitches(t *testing.T) {
+	p, _ := ProfileByName("gamess")
+	ps := NewPhasedSource(p, []Phase{
+		{Instructions: 10_000, StoreScale: 1, RepeatScale: 1},
+		{Instructions: 10_000, StoreScale: 1, RepeatScale: 1},
+	})
+	for ps.Progress() < 100_000 {
+		ps.Next()
+	}
+	if ps.PhaseSwitches < 8 {
+		t.Fatalf("phase switches = %d, want ~10", ps.PhaseSwitches)
+	}
+}
+
+func TestPhasedStoreRateModulates(t *testing.T) {
+	p, _ := ProfileByName("gamess")
+	// One long heavy phase, one long light phase.
+	ps := NewPhasedSource(p, []Phase{
+		{Instructions: 500_000, StoreScale: 2, RepeatScale: 1},
+		{Instructions: 500_000, StoreScale: 0.25, RepeatScale: 1},
+	})
+	countStores := func(limit uint64) float64 {
+		start := ps.Stores()
+		startI := ps.Progress()
+		for ps.Progress() < limit {
+			ps.Next()
+		}
+		return float64(ps.Stores()-start) / (float64(ps.Progress()-startI) / 1000)
+	}
+	heavy := countStores(450_000)
+	// Skip past the boundary region.
+	for ps.Progress() < 550_000 {
+		ps.Next()
+	}
+	light := countStores(950_000)
+	if heavy < light*3 {
+		t.Fatalf("heavy phase PPKI %.1f not well above light %.1f", heavy, light)
+	}
+}
+
+func TestPhasedRepeatScaleChangesDistinctRate(t *testing.T) {
+	p, _ := ProfileByName("gamess")
+	distinctRate := func(repeat float64) float64 {
+		ps := NewPhasedSource(p, []Phase{{Instructions: 1 << 40, StoreScale: 1, RepeatScale: repeat}})
+		seen := map[addr.Block]bool{}
+		distinct, stores := 0, 0
+		for stores < 20_000 {
+			op := ps.Next()
+			if op.Kind != OpStore || op.Stack {
+				continue
+			}
+			stores++
+			if !seen[op.Block] {
+				seen[op.Block] = true
+				distinct++
+			}
+			if stores%32 == 0 {
+				seen = map[addr.Block]bool{}
+			}
+		}
+		return float64(distinct) / float64(stores)
+	}
+	churny := distinctRate(0.3)
+	friendly := distinctRate(1.5)
+	if churny <= friendly {
+		t.Fatalf("repeat scaling had no effect: churny %.3f vs friendly %.3f", churny, friendly)
+	}
+}
+
+func TestBurstPattern(t *testing.T) {
+	phases := Burst(10_000, 40_000, 4)
+	if len(phases) != 2 || phases[0].StoreScale != 4 {
+		t.Fatalf("burst = %+v", phases)
+	}
+	p, _ := ProfileByName("sphinx3")
+	ps := NewPhasedSource(p, phases)
+	for ps.Progress() < 200_000 {
+		ps.Next()
+	}
+	if ps.PhaseSwitches < 3 {
+		t.Fatalf("switches = %d", ps.PhaseSwitches)
+	}
+}
+
+func TestPhasedSourceDrivesEngineCompatibleInterface(t *testing.T) {
+	// PhasedSource satisfies Source; a smoke run through the generator
+	// interface must stay well-formed.
+	p, _ := ProfileByName("gcc")
+	var src Source = NewPhasedSource(p, Burst(5_000, 20_000, 3))
+	for src.Progress() < 50_000 {
+		op := src.Next()
+		if uint64(op.Block) >= TotalBlocks {
+			t.Fatal("address out of map")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"plp/internal/trace"
+)
+
+// FuzzRead hardens the trace parser against malformed input: it must
+// never panic, and any input it accepts must re-serialize to an
+// equivalent trace.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and some mutations.
+	p, _ := trace.ProfileByName("gamess")
+	tr := Record(p, 64)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr.Name, tr.IPC, tr.Ops); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PLPTRC01"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Round-trip accepted input.
+		var out bytes.Buffer
+		if err := Write(&out, got.Name, got.IPC, got.Ops); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v", err)
+		}
+		if again.Name != got.Name || len(again.Ops) != len(got.Ops) {
+			t.Fatal("round trip not equivalent")
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package tracefile serializes operation traces to a compact binary
+// format, so workloads can be recorded once (or produced by external
+// tools) and replayed deterministically through the timing simulator.
+//
+// Format (little-endian, varint-packed):
+//
+//	magic   [8]byte  "PLPTRC01"
+//	ipc     uint64   baseline IPC ×1e6 (fixed point)
+//	nameLen uvarint, name bytes
+//	count   uvarint  number of operations
+//	ops     count × { gap uvarint, block uvarint, flags byte }
+//
+// flags bit0 = store, bit1 = stack.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"plp/internal/addr"
+	"plp/internal/trace"
+)
+
+var magic = [8]byte{'P', 'L', 'P', 'T', 'R', 'C', '0', '1'}
+
+const ipcScale = 1e6
+
+// Write serializes ops (with workload metadata) to w.
+func Write(w io.Writer, name string, ipc float64, ops []trace.Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], uint64(ipc*ipcScale))
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(ops))); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if err := putUvarint(uint64(op.Gap)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(op.Block)); err != nil {
+			return err
+		}
+		var flags byte
+		if op.Kind == trace.OpStore {
+			flags |= 1
+		}
+		if op.Stack {
+			flags |= 2
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Trace is a fully loaded recorded trace.
+type Trace struct {
+	Name string
+	IPC  float64
+	Ops  []trace.Op
+}
+
+// Read parses a trace file.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", m)
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: ipc: %w", err)
+	}
+	t := &Trace{IPC: float64(binary.LittleEndian.Uint64(u64[:])) / ipcScale}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: name length: %w", err)
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("tracefile: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("tracefile: name: %w", err)
+	}
+	t.Name = string(name)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: count: %w", err)
+	}
+	t.Ops = make([]trace.Op, 0, count)
+	for i := uint64(0); i < count; i++ {
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: op %d gap: %w", i, err)
+		}
+		block, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: op %d block: %w", i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: op %d flags: %w", i, err)
+		}
+		op := trace.Op{Gap: uint32(gap), Block: addr.Block(block), Kind: trace.OpLoad}
+		if flags&1 != 0 {
+			op.Kind = trace.OpStore
+		}
+		op.Stack = flags&2 != 0
+		t.Ops = append(t.Ops, op)
+	}
+	return t, nil
+}
+
+// Replayer streams a loaded trace as a trace.Source, cycling back to
+// the start if the simulator asks for more operations than were
+// recorded.
+type Replayer struct {
+	t     *Trace
+	pos   int
+	insts uint64
+	// Wrapped counts how many times the trace restarted.
+	Wrapped int
+}
+
+// NewReplayer creates a Source over t. The trace must be non-empty.
+func NewReplayer(t *Trace) (*Replayer, error) {
+	if len(t.Ops) == 0 {
+		return nil, fmt.Errorf("tracefile: empty trace")
+	}
+	return &Replayer{t: t}, nil
+}
+
+// Next returns the next recorded operation, satisfying trace.Source.
+func (r *Replayer) Next() trace.Op {
+	if r.pos >= len(r.t.Ops) {
+		r.pos = 0
+		r.Wrapped++
+	}
+	op := r.t.Ops[r.pos]
+	r.pos++
+	r.insts += uint64(op.Gap) + 1
+	return op
+}
+
+// Progress returns instructions represented so far.
+func (r *Replayer) Progress() uint64 { return r.insts }
+
+// Record captures n operations from a synthetic generator into a
+// Trace, for writing to disk.
+func Record(p trace.Profile, n int) *Trace {
+	g := trace.NewGenerator(p)
+	t := &Trace{Name: p.Name, IPC: p.IPC, Ops: make([]trace.Op, n)}
+	for i := 0; i < n; i++ {
+		t.Ops[i] = g.Next()
+	}
+	return t
+}

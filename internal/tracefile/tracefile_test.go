@@ -1,0 +1,204 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"plp/internal/engine"
+	"plp/internal/trace"
+)
+
+func recorded(t *testing.T, n int) *Trace {
+	t.Helper()
+	p, ok := trace.ProfileByName("gamess")
+	if !ok {
+		t.Fatal("gamess missing")
+	}
+	return Record(p, n)
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := recorded(t, 5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig.Name, orig.IPC, orig.Ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.IPC != orig.IPC {
+		t.Fatalf("metadata: %q %v", got.Name, got.IPC)
+	}
+	if len(got.Ops) != len(orig.Ops) {
+		t.Fatalf("ops: %d vs %d", len(got.Ops), len(orig.Ops))
+	}
+	for i := range got.Ops {
+		if got.Ops[i] != orig.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, got.Ops[i], orig.Ops[i])
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	orig := recorded(t, 10000)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig.Name, orig.IPC, orig.Ops); err != nil {
+		t.Fatal(err)
+	}
+	perOp := float64(buf.Len()) / float64(len(orig.Ops))
+	if perOp > 8 {
+		t.Fatalf("%.1f bytes/op, want compact (<8)", perOp)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACEFILE....."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	orig := recorded(t, 100)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig.Name, orig.IPC, orig.Ops); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, 8, 16, buf.Len() - 1} {
+		if _, err := Read(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReplayerStreamsAndWraps(t *testing.T) {
+	tr := recorded(t, 100)
+	r, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Next(); got != tr.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+	// Wraps around.
+	if got := r.Next(); got != tr.Ops[0] {
+		t.Fatal("wrap did not restart")
+	}
+	if r.Wrapped != 1 {
+		t.Fatalf("wrapped = %d", r.Wrapped)
+	}
+	if r.Progress() == 0 {
+		t.Fatal("progress not tracked")
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	if _, err := NewReplayer(&Trace{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+// TestReplayMatchesLiveGeneration is the integration check: simulating
+// from a recorded trace must give the exact same result as simulating
+// from the live generator it was recorded from.
+func TestReplayMatchesLiveGeneration(t *testing.T) {
+	p, _ := trace.ProfileByName("gcc")
+	const instr = 200_000
+
+	live := engine.Run(engine.Config{Scheme: engine.SchemeCoalescing, Instructions: instr}, p)
+
+	// Record comfortably more ops than the run needs.
+	tr := Record(p, 150_000)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr.Name, tr.IPC, tr.Ops); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := engine.RunSource(engine.Config{Scheme: engine.SchemeCoalescing, Instructions: instr},
+		loaded.Name, loaded.IPC, rep)
+
+	if replayed.Cycles != live.Cycles || replayed.Persists != live.Persists {
+		t.Fatalf("replay diverged: cycles %d vs %d, persists %d vs %d",
+			replayed.Cycles, live.Cycles, replayed.Persists, live.Persists)
+	}
+	if rep.Wrapped != 0 {
+		t.Fatal("trace wrapped; comparison invalid")
+	}
+}
+
+func TestRunSourceDefaultsIPC(t *testing.T) {
+	tr := recorded(t, 50_000)
+	rep, _ := NewReplayer(tr)
+	res := engine.RunSource(engine.Config{Scheme: engine.SchemeSP, Instructions: 50_000}, "x", 0, rep)
+	if res.Cycles == 0 {
+		t.Fatal("zero-IPC source run produced nothing")
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	tr := Record(p, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_ = Write(&buf, tr.Name, tr.IPC, tr.Ops)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	p, _ := trace.ProfileByName("gamess")
+	tr := Record(p, 100_000)
+	var buf bytes.Buffer
+	_ = Write(&buf, tr.Name, tr.IPC, tr.Ops)
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWriteLargeGapsAndBlocks(t *testing.T) {
+	// Varint edge cases: large gaps, large block numbers, all flag
+	// combinations.
+	ops := []trace.Op{
+		{Gap: 0, Kind: trace.OpLoad, Block: 0},
+		{Gap: 1 << 30, Kind: trace.OpStore, Block: 1 << 40, Stack: false},
+		{Gap: 300, Kind: trace.OpStore, Block: 7, Stack: true},
+		{Gap: 1, Kind: trace.OpLoad, Block: 1<<45 - 1},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "edge", 0.5, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		if got.Ops[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got.Ops[i], ops[i])
+		}
+	}
+}
+
+func TestImplausibleNameRejected(t *testing.T) {
+	// Hand-craft a header with a huge name length.
+	var buf bytes.Buffer
+	buf.Write([]byte("PLPTRC01"))
+	buf.Write(make([]byte, 8))                      // ipc
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}) // name len varint (huge)
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("huge name length accepted")
+	}
+}

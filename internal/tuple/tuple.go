@@ -1,0 +1,215 @@
+// Package tuple models the paper's *memory tuple* (Definition 3): the
+// four items (C, γ, M, R) — ciphertext, counter, MAC, and BMT root —
+// that secure memory produces when a block persists, together with the
+// paper's predictions of what goes wrong at recovery when items are
+// missing (Table I) or persisted out of order (Table II).
+//
+// The predictions in this package are the analytical ground truth that
+// the functional crash-recovery checker (internal/recovery) validates
+// empirically against real encryption, MACs, and tree hashes.
+package tuple
+
+import "strings"
+
+// Item identifies one component of the memory tuple.
+type Item uint8
+
+const (
+	// Ciphertext is C = E_K(P, A, γ).
+	Ciphertext Item = iota
+	// Counter is the encryption counter γ.
+	Counter
+	// MAC is M = MAC_K(C, A, γ).
+	MAC
+	// Root is the BMT root update R implied by the counter change.
+	Root
+	numItems
+)
+
+// Items lists all tuple items in canonical order.
+func Items() []Item { return []Item{Ciphertext, Counter, MAC, Root} }
+
+func (i Item) String() string {
+	switch i {
+	case Ciphertext:
+		return "C"
+	case Counter:
+		return "γ"
+	case MAC:
+		return "M"
+	case Root:
+		return "R"
+	default:
+		return "?"
+	}
+}
+
+// Set is a subset of tuple items.
+type Set uint8
+
+// With returns s with item i added.
+func (s Set) With(i Item) Set { return s | 1<<i }
+
+// Without returns s with item i removed.
+func (s Set) Without(i Item) Set { return s &^ (1 << i) }
+
+// Has reports whether i is in s.
+func (s Set) Has(i Item) bool { return s&(1<<i) != 0 }
+
+// Complete is the full tuple (all four items).
+const Complete Set = 1<<Ciphertext | 1<<Counter | 1<<MAC | 1<<Root
+
+// IsComplete reports whether all items are present.
+func (s Set) IsComplete() bool { return s == Complete }
+
+func (s Set) String() string {
+	if s == 0 {
+		return "{}"
+	}
+	var parts []string
+	for _, i := range Items() {
+		if s.Has(i) {
+			parts = append(parts, i.String())
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Outcome describes what a crash-recovery observer sees for one datum.
+// It is a set of independent failure indications: wrong plaintext
+// recovered, MAC verification failure, and/or BMT verification
+// failure. The zero Outcome means clean recovery.
+type Outcome uint8
+
+const (
+	// WrongPlaintext: the decrypted value is not the persisted value.
+	WrongPlaintext Outcome = 1 << iota
+	// MACFail: stateful MAC verification fails.
+	MACFail
+	// BMTFail: BMT root verification fails.
+	BMTFail
+)
+
+// Clean reports a fully successful recovery.
+func (o Outcome) Clean() bool { return o == 0 }
+
+func (o Outcome) String() string {
+	if o == 0 {
+		return "ok"
+	}
+	var parts []string
+	if o&WrongPlaintext != 0 {
+		parts = append(parts, "wrong-plaintext")
+	}
+	if o&MACFail != 0 {
+		parts = append(parts, "mac-fail")
+	}
+	if o&BMTFail != 0 {
+		parts = append(parts, "bmt-fail")
+	}
+	return strings.Join(parts, "+")
+}
+
+// ClassifyMissing returns the paper's Table I prediction for a persist
+// whose tuple persisted only the items in got (the new values); any
+// missing item retains its old value in NVM.
+//
+//	C γ M ×R → BMT failure
+//	C γ ×M R → MAC failure
+//	C ×γ M R → wrong plaintext, BMT & MAC failure
+//	×C γ M R → wrong plaintext, MAC failure
+//
+// Missing combinations compose by union of the single-item rows.
+func ClassifyMissing(got Set) Outcome {
+	var o Outcome
+	if !got.Has(Root) {
+		o |= BMTFail
+	}
+	if !got.Has(MAC) {
+		o |= MACFail
+	}
+	if !got.Has(Counter) {
+		o |= WrongPlaintext | BMTFail | MACFail
+	}
+	if !got.Has(Ciphertext) {
+		o |= WrongPlaintext | MACFail
+	}
+	return o
+}
+
+// ClassifySubset generalizes Table I to *every* subset of persisted
+// items, assuming a complete older tuple already in NVM. The governing
+// principle is mutual consistency rather than a union of single-item
+// rows:
+//
+//   - the correct (new) plaintext is recovered iff C and γ persisted
+//     together;
+//   - MAC verification passes iff C, γ, and M are all new or all old
+//     (the stateful MAC binds the three);
+//   - BMT verification passes iff γ and R are both new or both old
+//     (the tree root seals exactly the counters).
+//
+// On the four single-missing points this coincides with Table I
+// (ClassifyMissing); elsewhere it differs — persisting nothing, for
+// example, leaves the old tuple fully consistent, so recovery sees the
+// stale value with no verification failure at all, which is precisely
+// why torn persists (not clean losses) are the dangerous case.
+func ClassifySubset(got Set) Outcome {
+	var o Outcome
+	if !(got.Has(Ciphertext) && got.Has(Counter)) {
+		o |= WrongPlaintext
+	}
+	if !(got.Has(Ciphertext) == got.Has(Counter) && got.Has(Counter) == got.Has(MAC)) {
+		o |= MACFail
+	}
+	if got.Has(Counter) != got.Has(Root) {
+		o |= BMTFail
+	}
+	return o
+}
+
+// OrderViolation identifies which tuple component's persist order was
+// inverted between two ordered persists α1 → α2 (paper Table II).
+type OrderViolation uint8
+
+const (
+	// ViolateCounter: γ2 persisted but γ1 did not (γ1 → γ2 violated).
+	ViolateCounter OrderViolation = iota
+	// ViolateMAC: M2 persisted but M1 did not.
+	ViolateMAC
+	// ViolateRoot: R2 persisted but R1 did not.
+	ViolateRoot
+)
+
+func (v OrderViolation) String() string {
+	switch v {
+	case ViolateCounter:
+		return "γ1→γ2"
+	case ViolateMAC:
+		return "M1→M2"
+	case ViolateRoot:
+		return "R1→R2"
+	default:
+		return "?"
+	}
+}
+
+// ClassifyOrderViolation returns Table II's prediction for the state
+// where all of α1's tuple items persisted except the violated one,
+// while α2's corresponding item persisted instead. The outcome is
+// reported for the first persist's datum (and, for MAC violation, the
+// paper notes both C1 and C2 fail MAC verification).
+func ClassifyOrderViolation(v OrderViolation) Outcome {
+	switch v {
+	case ViolateCounter:
+		// "Plaintext P1 not recoverable" — and since γ1 is stale, MAC
+		// and BMT checks over it fail too.
+		return WrongPlaintext | MACFail | BMTFail
+	case ViolateMAC:
+		return MACFail
+	case ViolateRoot:
+		return BMTFail
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,178 @@
+package tuple
+
+import "testing"
+
+func TestSetOps(t *testing.T) {
+	var s Set
+	s = s.With(Ciphertext).With(Root)
+	if !s.Has(Ciphertext) || !s.Has(Root) || s.Has(MAC) || s.Has(Counter) {
+		t.Fatalf("set ops wrong: %v", s)
+	}
+	s = s.Without(Root)
+	if s.Has(Root) {
+		t.Fatal("Without failed")
+	}
+}
+
+func TestCompleteSet(t *testing.T) {
+	if !Complete.IsComplete() {
+		t.Fatal("Complete not complete")
+	}
+	for _, i := range Items() {
+		if !Complete.Has(i) {
+			t.Fatalf("Complete missing %v", i)
+		}
+		if Complete.Without(i).IsComplete() {
+			t.Fatalf("removing %v still complete", i)
+		}
+	}
+}
+
+func TestClassifyComplete(t *testing.T) {
+	if o := ClassifyMissing(Complete); !o.Clean() {
+		t.Fatalf("complete tuple classified %v", o)
+	}
+}
+
+// TestTableIRecoveryPredictions checks the exact rows of Table I.
+func TestTableIRecoveryPredictions(t *testing.T) {
+	cases := []struct {
+		missing Item
+		want    Outcome
+	}{
+		{Root, BMTFail},
+		{MAC, MACFail},
+		{Counter, WrongPlaintext | BMTFail | MACFail},
+		{Ciphertext, WrongPlaintext | MACFail},
+	}
+	for _, c := range cases {
+		got := ClassifyMissing(Complete.Without(c.missing))
+		if got != c.want {
+			t.Errorf("missing %v: got %v, want %v", c.missing, got, c.want)
+		}
+	}
+}
+
+func TestClassifyMissingComposes(t *testing.T) {
+	// Missing both M and R unions the two rows.
+	got := ClassifyMissing(Complete.Without(MAC).Without(Root))
+	if got != MACFail|BMTFail {
+		t.Fatalf("got %v", got)
+	}
+	// Missing everything: all failures.
+	if got := ClassifyMissing(0); got != WrongPlaintext|MACFail|BMTFail {
+		t.Fatalf("empty tuple: %v", got)
+	}
+}
+
+// TestTableIIOrderingPredictions checks the rows of Table II.
+func TestTableIIOrderingPredictions(t *testing.T) {
+	if got := ClassifyOrderViolation(ViolateCounter); got&WrongPlaintext == 0 {
+		t.Errorf("γ violation must lose plaintext: %v", got)
+	}
+	if got := ClassifyOrderViolation(ViolateMAC); got != MACFail {
+		t.Errorf("M violation: got %v, want mac-fail", got)
+	}
+	if got := ClassifyOrderViolation(ViolateRoot); got != BMTFail {
+		t.Errorf("R violation: got %v, want bmt-fail", got)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if Outcome(0).String() != "ok" {
+		t.Fatal("zero outcome string")
+	}
+	s := (WrongPlaintext | MACFail | BMTFail).String()
+	for _, want := range []string{"wrong-plaintext", "mac-fail", "bmt-fail"} {
+		found := false
+		for i := 0; i+len(want) <= len(s); i++ {
+			if s[i:i+len(want)] == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("outcome string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if Set(0).String() != "{}" {
+		t.Fatal("empty set string")
+	}
+	if Complete.String() != "{C,γ,M,R}" {
+		t.Fatalf("complete set string = %q", Complete.String())
+	}
+}
+
+func TestItemStrings(t *testing.T) {
+	want := map[Item]string{Ciphertext: "C", Counter: "γ", MAC: "M", Root: "R"}
+	for i, w := range want {
+		if i.String() != w {
+			t.Fatalf("%d.String() = %q", i, i.String())
+		}
+	}
+	if Item(99).String() != "?" {
+		t.Fatal("unknown item string")
+	}
+}
+
+func TestViolationStrings(t *testing.T) {
+	for _, v := range []OrderViolation{ViolateCounter, ViolateMAC, ViolateRoot} {
+		if v.String() == "?" || v.String() == "" {
+			t.Fatalf("violation %d has no name", v)
+		}
+	}
+	if OrderViolation(99).String() != "?" {
+		t.Fatal("unknown violation string")
+	}
+}
+
+func TestClassifySubsetMatchesTableIOnSingleMissing(t *testing.T) {
+	// On the four single-missing points the general classifier and the
+	// Table I rows coincide.
+	for _, missing := range Items() {
+		s := Complete.Without(missing)
+		if ClassifySubset(s) != ClassifyMissing(s) {
+			t.Errorf("missing %v: subset %v vs missing %v",
+				missing, ClassifySubset(s), ClassifyMissing(s))
+		}
+	}
+}
+
+func TestClassifySubsetConsistencyPrinciple(t *testing.T) {
+	// Nothing persisted: old tuple fully consistent — only stale data.
+	if got := ClassifySubset(0); got != WrongPlaintext {
+		t.Fatalf("empty subset: %v", got)
+	}
+	// Everything persisted: clean.
+	if got := ClassifySubset(Complete); !got.Clean() {
+		t.Fatalf("complete subset: %v", got)
+	}
+	// C+γ persisted without M: correct plaintext but MAC failure.
+	s := Set(0).With(Ciphertext).With(Counter).With(Root)
+	if got := ClassifySubset(s); got != MACFail {
+		t.Fatalf("{C,γ,R}: %v", got)
+	}
+	// γ alone: everything inconsistent.
+	if got := ClassifySubset(Set(0).With(Counter)); got != WrongPlaintext|MACFail|BMTFail {
+		t.Fatalf("{γ}: %v", got)
+	}
+}
+
+func TestClassifySubsetExhaustiveSanity(t *testing.T) {
+	for bits := 0; bits < 16; bits++ {
+		s := Set(bits)
+		o := ClassifySubset(s)
+		// BMT failure depends only on γ vs R agreement.
+		wantBMT := s.Has(Counter) != s.Has(Root)
+		if (o&BMTFail != 0) != wantBMT {
+			t.Errorf("subset %v: BMT prediction inconsistent", s)
+		}
+		// Complete and empty are the only MAC-clean-and-plaintext... empty
+		// is MAC-clean but stale; only Complete is fully clean.
+		if o.Clean() && s != Complete {
+			t.Errorf("subset %v classified clean", s)
+		}
+	}
+}

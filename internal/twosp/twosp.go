@@ -1,0 +1,173 @@
+// Package twosp implements the 2-step persist (2SP) protocol of
+// §IV-A1 at the state-machine level: the memory controller's WPQ is
+// the persist gathering point; an entry is created per persist,
+// collects its memory-tuple components as they arrive (in any order),
+// is flagged incomplete until the ciphertext, counter, and MAC have
+// arrived AND the BMT root update is acknowledged, and only then
+// releases its blocks toward NVM. "On power failure, any incomplete
+// flagged blocks are considered not persisted and invalidated."
+//
+// The package drives the functional secure memory, so crash behaviour
+// is real: an incomplete entry's partial tuple items never reach the
+// persist domain, which is exactly how 2SP enforces Invariant 1 even
+// though the components arrive piecemeal.
+package twosp
+
+import (
+	"fmt"
+
+	"plp/internal/addr"
+	"plp/internal/core"
+	"plp/internal/tuple"
+)
+
+// EntryState tracks one WPQ entry through the protocol.
+type EntryState uint8
+
+const (
+	// StateGathering: tuple components still arriving (incomplete flag
+	// set).
+	StateGathering EntryState = iota
+	// StateComplete: all components arrived and the root update was
+	// acknowledged; blocks are releasable to NVM.
+	StateComplete
+	// StateReleased: the entry's blocks drained to NVM and the entry
+	// freed.
+	StateReleased
+)
+
+func (s EntryState) String() string {
+	switch s {
+	case StateGathering:
+		return "gathering"
+	case StateComplete:
+		return "complete"
+	case StateReleased:
+		return "released"
+	default:
+		return fmt.Sprintf("EntryState(%d)", uint8(s))
+	}
+}
+
+// Entry is one WPQ persist entry.
+type Entry struct {
+	Block   addr.Block
+	pending *core.Pending
+	arrived tuple.Set
+	rootAck bool
+	state   EntryState
+}
+
+// State returns the entry's protocol state.
+func (e *Entry) State() EntryState { return e.state }
+
+// Arrived returns the components gathered so far.
+func (e *Entry) Arrived() tuple.Set { return e.arrived }
+
+// Controller is a 2SP memory controller over a functional memory.
+type Controller struct {
+	mem      *core.Memory
+	capacity int
+	entries  []*Entry
+
+	// Persists counts completed (released) persists; Invalidated
+	// counts entries dropped by a crash while incomplete.
+	Persists    uint64
+	Invalidated uint64
+}
+
+// New creates a 2SP controller with the given WPQ capacity.
+func New(mem *core.Memory, capacity int) *Controller {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Controller{mem: mem, capacity: capacity}
+}
+
+// InFlight returns the number of occupied WPQ entries.
+func (c *Controller) InFlight() int { return len(c.entries) }
+
+// Begin opens a WPQ entry for a persist of data at blk, computing the
+// new tuple on chip. It fails if the WPQ is full (the caller must
+// Release completed entries first — the back-pressure the timing model
+// charges for).
+func (c *Controller) Begin(blk addr.Block, data core.BlockData) (*Entry, error) {
+	if len(c.entries) >= c.capacity {
+		return nil, fmt.Errorf("twosp: WPQ full (%d entries)", c.capacity)
+	}
+	e := &Entry{Block: blk, pending: c.mem.Prepare(blk, data)}
+	c.entries = append(c.entries, e)
+	return e, nil
+}
+
+// Deliver records the arrival of one gathered tuple component at the
+// WPQ. The ciphertext, counter, and MAC may arrive in any order; the
+// Root component is the BMT walk's acknowledgement and the controller
+// only initiates that walk once the rest of the tuple is gathered
+// (Fig. 2's timeline) — otherwise a crash after the root update but
+// before the tuple completes would poison the shared root register for
+// every later persist. Each component is accepted once.
+func (c *Controller) Deliver(e *Entry, item tuple.Item) error {
+	if e.state != StateGathering {
+		return fmt.Errorf("twosp: deliver to %v entry", e.state)
+	}
+	if e.arrived.Has(item) {
+		return fmt.Errorf("twosp: duplicate %v delivery", item)
+	}
+	if item == tuple.Root {
+		if e.arrived != tuple.Complete.Without(tuple.Root) {
+			return fmt.Errorf("twosp: root update initiated before tuple gathered (%v)", e.arrived)
+		}
+		c.mem.ApplyTreeUpdate(e.pending)
+		e.rootAck = true
+	}
+	e.arrived = e.arrived.With(item)
+	if e.arrived.IsComplete() && e.rootAck {
+		e.state = StateComplete
+	}
+	return nil
+}
+
+// DeliverAll gathers the whole tuple in the canonical order.
+func (c *Controller) DeliverAll(e *Entry) error {
+	for _, item := range tuple.Items() {
+		if err := c.Deliver(e, item); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Release drains every complete entry's blocks to NVM (the second step
+// of 2SP) and frees the entries. Incomplete entries stay locked.
+func (c *Controller) Release() int {
+	released := 0
+	keep := c.entries[:0]
+	for _, e := range c.entries {
+		if e.state != StateComplete {
+			keep = append(keep, e)
+			continue
+		}
+		// The complete tuple commits atomically: by protocol, nothing
+		// of this entry touched the persist domain before this point.
+		c.mem.Commit(e.pending, tuple.Complete)
+		e.state = StateReleased
+		c.Persists++
+		released++
+	}
+	c.entries = keep
+	return released
+}
+
+// Crash models power failure with ADR: complete entries are part of
+// the persist domain and drain (they persist); incomplete entries are
+// invalidated — none of their partial state reaches NVM. The
+// underlying memory then crashes.
+func (c *Controller) Crash() {
+	c.Release() // ADR flushes complete entries
+	for range c.entries {
+		c.Invalidated++
+	}
+	c.entries = nil
+	c.mem.Crash()
+}

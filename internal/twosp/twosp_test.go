@@ -1,0 +1,323 @@
+package twosp
+
+import (
+	"testing"
+
+	"plp/internal/addr"
+	"plp/internal/core"
+	"plp/internal/tuple"
+	"plp/internal/xrand"
+)
+
+func newMem(t *testing.T) *core.Memory {
+	t.Helper()
+	m, err := core.New(core.Config{Key: []byte("twosp-test-key!!"), BMTLevels: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func d(seed uint64) core.BlockData {
+	var b core.BlockData
+	xrand.New(seed).Fill(b[:])
+	return b
+}
+
+func TestFullProtocolPersists(t *testing.T) {
+	m := newMem(t)
+	c := New(m, 8)
+	e, err := c.Begin(1, d(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.State() != StateGathering {
+		t.Fatalf("state = %v", e.State())
+	}
+	if err := c.DeliverAll(e); err != nil {
+		t.Fatal(err)
+	}
+	if e.State() != StateComplete {
+		t.Fatalf("state after gather = %v", e.State())
+	}
+	if got := c.Release(); got != 1 {
+		t.Fatalf("released = %d", got)
+	}
+	if e.State() != StateReleased || c.Persists != 1 || c.InFlight() != 0 {
+		t.Fatalf("post-release: %v persists=%d inflight=%d", e.State(), c.Persists, c.InFlight())
+	}
+	c.Crash()
+	if !m.Recover().Clean() {
+		t.Fatal("recovery not clean")
+	}
+	got, err := m.Read(1)
+	if err != nil || got != d(1) {
+		t.Fatal("persisted data lost")
+	}
+}
+
+func TestOutOfOrderGatheringAllOrders(t *testing.T) {
+	// C, γ, and M may arrive in any order; the root acknowledgement is
+	// always last (the controller initiates the walk only once the rest
+	// is gathered). All 6 valid orders must persist correctly, and the
+	// 18 orders that would update the root early must be rejected.
+	items := tuple.Items()
+	perms := permutations(items)
+	if len(perms) != 24 {
+		t.Fatalf("permutations = %d", len(perms))
+	}
+	valid, rejected := 0, 0
+	for pi, perm := range perms {
+		m := newMem(t)
+		c := New(m, 4)
+		e, err := c.Begin(2, d(uint64(pi)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		early := false
+		for _, item := range perm {
+			if err := c.Deliver(e, item); err != nil {
+				if item != tuple.Root {
+					t.Fatalf("perm %d: unexpected rejection of %v: %v", pi, item, err)
+				}
+				early = true
+				break
+			}
+		}
+		if early {
+			rejected++
+			if e.State() == StateComplete {
+				t.Fatalf("perm %d: completed despite early root", pi)
+			}
+			continue
+		}
+		valid++
+		if e.State() != StateComplete {
+			t.Fatalf("perm %d: state %v", pi, e.State())
+		}
+		c.Release()
+		c.Crash()
+		if !m.Recover().Clean() {
+			t.Fatalf("perm %d: recovery failed", pi)
+		}
+		if got, _ := m.Read(2); got != d(uint64(pi)) {
+			t.Fatalf("perm %d: wrong data", pi)
+		}
+	}
+	if valid != 6 || rejected != 18 {
+		t.Fatalf("valid=%d rejected=%d, want 6/18", valid, rejected)
+	}
+}
+
+func permutations(items []tuple.Item) [][]tuple.Item {
+	if len(items) <= 1 {
+		return [][]tuple.Item{append([]tuple.Item(nil), items...)}
+	}
+	var out [][]tuple.Item
+	for i := range items {
+		rest := make([]tuple.Item, 0, len(items)-1)
+		rest = append(rest, items[:i]...)
+		rest = append(rest, items[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]tuple.Item{items[i]}, p...))
+		}
+	}
+	return out
+}
+
+// TestCrashInvalidatesIncomplete is the protocol's whole point: a
+// crash mid-gather drops the partial tuple entirely, so recovery sees
+// the clean OLD state — never the torn state that committing partial
+// items directly (Table I) would produce.
+func TestCrashInvalidatesIncomplete(t *testing.T) {
+	for _, partial := range []tuple.Set{
+		0,
+		tuple.Set(0).With(tuple.Ciphertext),
+		tuple.Set(0).With(tuple.Ciphertext).With(tuple.Counter),
+		tuple.Complete.Without(tuple.Root),
+	} {
+		m := newMem(t)
+		c := New(m, 4)
+		// Old committed state.
+		e0, _ := c.Begin(3, d(10))
+		c.DeliverAll(e0)
+		c.Release()
+
+		// New persist gathers only `partial`, then power fails.
+		e, _ := c.Begin(3, d(11))
+		for _, item := range tuple.Items() {
+			if partial.Has(item) {
+				if err := c.Deliver(e, item); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		c.Crash()
+		if c.Invalidated == 0 {
+			t.Fatalf("partial %v: entry not invalidated", partial)
+		}
+		if !m.Recover().Clean() {
+			t.Fatalf("partial %v: recovery failed — incomplete entry leaked", partial)
+		}
+		if got, _ := m.Read(3); got != d(10) {
+			t.Fatalf("partial %v: old state not recovered", partial)
+		}
+	}
+}
+
+func TestCrashDrainsCompleteEntries(t *testing.T) {
+	// ADR: entries already complete at power failure are in the
+	// persist domain and must survive even if Release never ran.
+	m := newMem(t)
+	c := New(m, 4)
+	e, _ := c.Begin(5, d(20))
+	c.DeliverAll(e)
+	// no Release()
+	c.Crash()
+	if !m.Recover().Clean() {
+		t.Fatal("recovery failed")
+	}
+	if got, _ := m.Read(5); got != d(20) {
+		t.Fatal("complete entry lost at crash")
+	}
+	if c.Persists != 1 {
+		t.Fatalf("persists = %d", c.Persists)
+	}
+}
+
+func TestWPQCapacityEnforced(t *testing.T) {
+	m := newMem(t)
+	c := New(m, 2)
+	if _, err := c.Begin(1, d(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(2, d(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(3, d(3)); err == nil {
+		t.Fatal("over-capacity Begin accepted")
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	m := newMem(t)
+	c := New(m, 4)
+	e, _ := c.Begin(1, d(1))
+	if err := c.Deliver(e, tuple.MAC); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deliver(e, tuple.MAC); err == nil {
+		t.Fatal("duplicate delivery accepted")
+	}
+	if err := c.Deliver(e, tuple.Root); err == nil {
+		t.Fatal("early root update accepted")
+	}
+	for _, item := range []tuple.Item{tuple.Ciphertext, tuple.Counter, tuple.Root} {
+		if !e.Arrived().Has(item) {
+			if err := c.Deliver(e, item); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if e.State() != StateComplete {
+		t.Fatalf("state = %v", e.State())
+	}
+	c.Release()
+	if err := c.Deliver(e, tuple.MAC); err == nil {
+		t.Fatal("delivery to released entry accepted")
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	m := newMem(t)
+	if New(m, 0).capacity != 1 {
+		t.Fatal("capacity not clamped")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []EntryState{StateGathering, StateComplete, StateReleased} {
+		if s.String() == "" {
+			t.Fatal("empty state string")
+		}
+	}
+	if EntryState(9).String() == "" {
+		t.Fatal("unknown state unformatted")
+	}
+}
+
+// TestInterleavedEntriesRandomSchedule drives many concurrent entries
+// with randomly interleaved component deliveries and crash points.
+// Protocol contract: concurrent in-flight persists must target
+// distinct pages — same-page persists share a counter block and are
+// only crash-atomic when serialized (strict persistency) or covered by
+// epoch-boundary recovery semantics; 2SP itself does not make torn
+// same-page gathering recoverable.
+func TestInterleavedEntriesRandomSchedule(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		r := xrand.New(seed)
+		m := newMem(t)
+		c := New(m, 8)
+		expected := map[addr.Block]core.BlockData{}
+		type inflight struct {
+			e    *Entry
+			data core.BlockData
+			todo []tuple.Item
+		}
+		var open []*inflight
+		busyPage := map[addr.Page]bool{}
+
+		for step := 0; step < 400; step++ {
+			switch {
+			case len(open) < 4 && r.Bool(0.4):
+				blk := addr.Block(r.Intn(64) * addr.BlocksPerPage) // one page each
+				if busyPage[addr.PageOfBlock(blk)] {
+					continue
+				}
+				data := d(seed<<16 | uint64(step))
+				if e, err := c.Begin(blk, data); err == nil {
+					busyPage[addr.PageOfBlock(blk)] = true
+					// C, γ, M in random order; root ack always last.
+					items := []tuple.Item{tuple.Ciphertext, tuple.Counter, tuple.MAC}
+					for i := len(items) - 1; i > 0; i-- {
+						j := r.Intn(i + 1)
+						items[i], items[j] = items[j], items[i]
+					}
+					items = append(items, tuple.Root)
+					open = append(open, &inflight{e: e, data: data, todo: items})
+				}
+			case len(open) > 0:
+				i := r.Intn(len(open))
+				f := open[i]
+				if err := c.Deliver(f.e, f.todo[0]); err != nil {
+					t.Fatal(err)
+				}
+				f.todo = f.todo[1:]
+				if len(f.todo) == 0 {
+					expected[f.e.Block] = f.data
+					busyPage[addr.PageOfBlock(f.e.Block)] = false
+					open = append(open[:i], open[i+1:]...)
+				}
+			}
+			if r.Bool(0.05) {
+				c.Release()
+			}
+		}
+		// Entries still gathering at the crash are invalidated; their
+		// blocks keep their last completed value, which `expected`
+		// already holds (or nothing, if never completed).
+		c.Crash()
+		if !m.Recover().Clean() {
+			t.Fatalf("seed %d: recovery failed", seed)
+		}
+		for blk, want := range expected {
+			got, err := m.Read(blk)
+			if err != nil {
+				t.Fatalf("seed %d: block %d: %v", seed, blk, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d: block %d holds wrong value", seed, blk)
+			}
+		}
+	}
+}

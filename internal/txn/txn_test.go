@@ -1,0 +1,322 @@
+package txn
+
+import (
+	"testing"
+
+	"plp/internal/addr"
+	"plp/internal/core"
+	"plp/internal/xrand"
+)
+
+const logBase = addr.Block(1 << 16) // log far from data
+
+func newMem(t *testing.T) *core.Memory {
+	t.Helper()
+	m, err := core.New(core.Config{Key: []byte("txn-test-key!!!!"), BMTLevels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newMgr(t *testing.T, mem *core.Memory) *Manager {
+	t.Helper()
+	mgr, err := NewManager(mem, logBase, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func blockOf(s string) core.BlockData {
+	var d core.BlockData
+	copy(d[:], s)
+	return d
+}
+
+func TestCommitMakesDurable(t *testing.T) {
+	mem := newMem(t)
+	mgr := newMgr(t, mem)
+	if err := mgr.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Write(1, blockOf("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Write(2, blockOf("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	mem.Crash()
+	if !mem.Recover().Clean() {
+		t.Fatal("core recovery failed")
+	}
+	if out, err := mgr.Recover(); err != nil || out.RolledBack {
+		t.Fatalf("unexpected rollback: %+v err=%v", out, err)
+	}
+	got, _ := mem.Read(1)
+	if got != blockOf("alpha") {
+		t.Fatal("committed value lost")
+	}
+}
+
+func TestCrashBeforeCommitRollsBack(t *testing.T) {
+	mem := newMem(t)
+	mgr := newMgr(t, mem)
+
+	// Old committed state.
+	must(t, mgr.Begin())
+	must(t, mgr.Write(1, blockOf("old1")))
+	must(t, mgr.Write(2, blockOf("old2")))
+	must(t, mgr.Commit())
+
+	// New region: crash before commit.
+	must(t, mgr.Begin())
+	must(t, mgr.Write(1, blockOf("new1")))
+	must(t, mgr.Write(2, blockOf("new2")))
+	mem.Crash()
+	if !mem.Recover().Clean() {
+		t.Fatal("core recovery failed")
+	}
+	out, err := mgr.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.RolledBack || out.EntriesUndone != 2 {
+		t.Fatalf("rollback = %+v", out)
+	}
+	for blk, want := range map[addr.Block]core.BlockData{1: blockOf("old1"), 2: blockOf("old2")} {
+		got, _ := mem.Read(blk)
+		if got != want {
+			t.Fatalf("block %d = %q", blk, got[:4])
+		}
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	mem := newMem(t)
+	mgr := newMgr(t, mem)
+	must(t, mgr.Begin())
+	must(t, mgr.Write(1, blockOf("committed")))
+	must(t, mgr.Commit())
+
+	must(t, mgr.Begin())
+	must(t, mgr.Write(1, blockOf("aborted")))
+	must(t, mgr.Abort())
+	got, _ := mem.Read(1)
+	if got != blockOf("committed") {
+		t.Fatalf("abort leaked: %q", got[:9])
+	}
+}
+
+func TestWriteSameBlockTwiceLogsOnce(t *testing.T) {
+	mem := newMem(t)
+	mgr := newMgr(t, mem)
+	must(t, mgr.Begin())
+	must(t, mgr.Write(5, blockOf("v1")))
+	must(t, mgr.Write(5, blockOf("v2")))
+	if mgr.entries != 1 {
+		t.Fatalf("entries = %d", mgr.entries)
+	}
+	must(t, mgr.Commit())
+	got, _ := mem.Read(5)
+	if got != blockOf("v2") {
+		t.Fatal("last write lost")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	mem := newMem(t)
+	mgr := newMgr(t, mem)
+	if err := mgr.Write(1, core.BlockData{}); err != ErrNotActive {
+		t.Fatalf("write outside region: %v", err)
+	}
+	if err := mgr.Commit(); err != ErrNotActive {
+		t.Fatalf("commit outside region: %v", err)
+	}
+	if err := mgr.Abort(); err != ErrNotActive {
+		t.Fatalf("abort outside region: %v", err)
+	}
+	must(t, mgr.Begin())
+	if err := mgr.Begin(); err != ErrActive {
+		t.Fatalf("nested begin: %v", err)
+	}
+	if err := mgr.Write(logBase+1, core.BlockData{}); err != ErrLogRange {
+		t.Fatalf("write into log region: %v", err)
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	mem := newMem(t)
+	mgr, err := NewManager(mem, logBase, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, mgr.Begin())
+	must(t, mgr.Write(1, core.BlockData{}))
+	must(t, mgr.Write(2, core.BlockData{}))
+	if err := mgr.Write(3, core.BlockData{}); err != ErrLogFull {
+		t.Fatalf("expected log full, got %v", err)
+	}
+}
+
+func TestBadCapacity(t *testing.T) {
+	if _, err := NewManager(newMem(t), logBase, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+// crashSentinel aborts execution at a chosen persist point.
+type crashSentinel struct{}
+
+// TestAtomicityAtEveryCrashPoint runs a two-block transaction,
+// crashing after EVERY persist the protocol performs, and verifies the
+// region is atomic at each point: after recovery, either both blocks
+// hold the old values or both hold the new values — never a mix.
+func TestAtomicityAtEveryCrashPoint(t *testing.T) {
+	old1, old2 := blockOf("old-A"), blockOf("old-B")
+	new1, new2 := blockOf("new-A"), blockOf("new-B")
+
+	// Count the persists of a full successful run.
+	total := func() int {
+		mem := newMem(t)
+		mgr := newMgr(t, mem)
+		seed(t, mgr, old1, old2)
+		n := 0
+		mgr.PersistHook = func() { n++ }
+		runTxn(t, mgr, new1, new2)
+		return n
+	}()
+	if total < 6 {
+		t.Fatalf("suspiciously few persist points: %d", total)
+	}
+
+	for cut := 1; cut <= total; cut++ {
+		mem := newMem(t)
+		mgr := newMgr(t, mem)
+		seed(t, mgr, old1, old2)
+
+		remaining := cut
+		mgr.PersistHook = func() {
+			remaining--
+			if remaining == 0 {
+				panic(crashSentinel{})
+			}
+		}
+		crashed := func() (c bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashSentinel); !ok {
+						panic(r)
+					}
+					c = true
+				}
+			}()
+			runTxn(t, mgr, new1, new2)
+			return false
+		}()
+		mgr.PersistHook = nil
+		if crashed {
+			mem.Crash()
+			if !mem.Recover().Clean() {
+				t.Fatalf("cut %d: core recovery failed", cut)
+			}
+			if _, err := mgr.Recover(); err != nil {
+				t.Fatalf("cut %d: txn recovery: %v", cut, err)
+			}
+		}
+
+		g1, err1 := mem.Read(1)
+		g2, err2 := mem.Read(2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("cut %d: read errors %v %v", cut, err1, err2)
+		}
+		oldState := g1 == old1 && g2 == old2
+		newState := g1 == new1 && g2 == new2
+		if !oldState && !newState {
+			t.Fatalf("cut %d/%d: torn state: %q / %q", cut, total, g1[:5], g2[:5])
+		}
+	}
+}
+
+// seed installs the initial committed values.
+func seed(t *testing.T, mgr *Manager, d1, d2 core.BlockData) {
+	t.Helper()
+	must(t, mgr.Begin())
+	must(t, mgr.Write(1, d1))
+	must(t, mgr.Write(2, d2))
+	must(t, mgr.Commit())
+}
+
+// runTxn performs the transaction under test.
+func runTxn(t *testing.T, mgr *Manager, d1, d2 core.BlockData) {
+	t.Helper()
+	must(t, mgr.Begin())
+	must(t, mgr.Write(1, d1))
+	must(t, mgr.Write(2, d2))
+	must(t, mgr.Commit())
+}
+
+func TestManySequentialTransactions(t *testing.T) {
+	mem := newMem(t)
+	mgr := newMgr(t, mem)
+	r := xrand.New(3)
+	expect := map[addr.Block]core.BlockData{}
+	for i := 0; i < 50; i++ {
+		must(t, mgr.Begin())
+		n := 1 + r.Intn(4)
+		staged := map[addr.Block]core.BlockData{}
+		for j := 0; j < n; j++ {
+			blk := addr.Block(r.Intn(64))
+			var d core.BlockData
+			r.Fill(d[:])
+			must(t, mgr.Write(blk, d))
+			staged[blk] = d
+		}
+		if r.Bool(0.25) {
+			must(t, mgr.Abort())
+		} else {
+			must(t, mgr.Commit())
+			for b, d := range staged {
+				expect[b] = d
+			}
+		}
+	}
+	mem.Crash()
+	if !mem.Recover().Clean() {
+		t.Fatal("core recovery failed")
+	}
+	if _, err := mgr.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for b, want := range expect {
+		got, err := mem.Read(b)
+		if err != nil || got != want {
+			t.Fatalf("block %d mismatch (err %v)", b, err)
+		}
+	}
+	if mgr.Committed == 0 || mgr.Begun != 50 {
+		t.Fatalf("stats: %+v", mgr)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransaction(b *testing.B) {
+	mem, _ := core.New(core.Config{Key: []byte("txn-bench-key!!!")})
+	mgr, _ := NewManager(mem, logBase, 16)
+	var d core.BlockData
+	for i := 0; i < b.N; i++ {
+		d[0] = byte(i)
+		_ = mgr.Begin()
+		_ = mgr.Write(addr.Block(i%256), d)
+		_ = mgr.Commit()
+	}
+}

@@ -1,0 +1,94 @@
+// Package wpq models the write pending queue in the memory
+// controller: the persist gathering point of the 2-step persist (2SP)
+// mechanism (§IV-A1). Entries are locked while their memory tuple is
+// being gathered and their BMT root update is outstanding; a full WPQ
+// back-pressures the core.
+//
+// The model is timestamp-based, matching internal/engine: a persist
+// admitted when the queue is full is delayed until the earliest
+// in-flight persist completes and frees its entry.
+package wpq
+
+import (
+	"container/heap"
+
+	"plp/internal/sim"
+)
+
+type cycleHeap []sim.Cycle
+
+func (h cycleHeap) Len() int            { return len(h) }
+func (h cycleHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h cycleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cycleHeap) Push(x interface{}) { *h = append(*h, x.(sim.Cycle)) }
+func (h *cycleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Queue is a WPQ of fixed capacity.
+type Queue struct {
+	capacity int
+	inflight cycleHeap // completion times of occupied entries
+
+	// Admitted counts persists that entered the queue; FullStalls
+	// accumulates cycles spent waiting for a free entry.
+	Admitted   uint64
+	FullStalls sim.Cycle
+}
+
+// New creates a WPQ with the given entry count (Table III default 32).
+func New(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{capacity: capacity}
+}
+
+// Capacity returns the entry count.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Admit requests an entry for a persist that is ready at the given
+// cycle. It returns the cycle at which the entry is actually granted
+// (equal to ready unless the queue is full). The caller must follow up
+// with Occupy once the persist's completion time is known.
+func (q *Queue) Admit(ready sim.Cycle) sim.Cycle {
+	// Drop entries that have already completed by the ready time.
+	for len(q.inflight) > 0 && q.inflight[0] <= ready {
+		heap.Pop(&q.inflight)
+	}
+	granted := ready
+	for len(q.inflight) >= q.capacity {
+		free := heap.Pop(&q.inflight).(sim.Cycle)
+		if free > granted {
+			granted = free
+		}
+	}
+	q.FullStalls += granted - ready
+	return granted
+}
+
+// Occupy records an admitted persist occupying its entry until done
+// (when the whole memory tuple has persisted and the entry unlocks).
+func (q *Queue) Occupy(done sim.Cycle) {
+	q.Admitted++
+	heap.Push(&q.inflight, done)
+}
+
+// DrainTime returns the completion time of the latest in-flight entry.
+func (q *Queue) DrainTime() sim.Cycle {
+	var m sim.Cycle
+	for _, c := range q.inflight {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// InFlight returns the number of occupied entries (as of the last
+// Admit's ready time).
+func (q *Queue) InFlight() int { return len(q.inflight) }

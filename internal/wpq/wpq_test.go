@@ -1,0 +1,101 @@
+package wpq
+
+import (
+	"testing"
+
+	"plp/internal/sim"
+)
+
+func TestAdmitWhenEmpty(t *testing.T) {
+	q := New(4)
+	if got := q.Admit(100); got != 100 {
+		t.Fatalf("granted = %d", got)
+	}
+}
+
+func TestFullQueueDelays(t *testing.T) {
+	q := New(2)
+	q.Admit(0)
+	q.Occupy(500)
+	q.Admit(0)
+	q.Occupy(700)
+	// Queue full; third persist ready at 0 must wait for earliest (500).
+	if got := q.Admit(0); got != 500 {
+		t.Fatalf("granted = %d, want 500", got)
+	}
+	q.Occupy(900)
+	// Fourth waits for next earliest (700).
+	if got := q.Admit(0); got != 700 {
+		t.Fatalf("granted = %d, want 700", got)
+	}
+	if q.FullStalls != 500+700 {
+		t.Fatalf("stalls = %d", q.FullStalls)
+	}
+}
+
+func TestCompletedEntriesFree(t *testing.T) {
+	q := New(1)
+	q.Admit(0)
+	q.Occupy(100)
+	// Ready after the entry completed: no delay.
+	if got := q.Admit(200); got != 200 {
+		t.Fatalf("granted = %d", got)
+	}
+}
+
+func TestOutOfOrderCompletionFreesEarliest(t *testing.T) {
+	q := New(2)
+	q.Admit(0)
+	q.Occupy(900) // slow persist
+	q.Admit(0)
+	q.Occupy(300) // fast persist (OOO completion)
+	if got := q.Admit(0); got != 300 {
+		t.Fatalf("granted = %d, want 300 (earliest completion)", got)
+	}
+}
+
+func TestDrainTime(t *testing.T) {
+	q := New(4)
+	q.Admit(0)
+	q.Occupy(500)
+	q.Admit(0)
+	q.Occupy(300)
+	if q.DrainTime() != 500 {
+		t.Fatalf("drain = %d", q.DrainTime())
+	}
+}
+
+func TestCapacityClamped(t *testing.T) {
+	q := New(0)
+	if q.Capacity() != 1 {
+		t.Fatalf("capacity = %d", q.Capacity())
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 5; i++ {
+		g := q.Admit(sim.Cycle(i))
+		q.Occupy(g + 10)
+	}
+	if q.Admitted != 5 {
+		t.Fatalf("admitted = %d", q.Admitted)
+	}
+}
+
+func TestSerializationWithCapacityOne(t *testing.T) {
+	// Capacity 1 turns the WPQ into a fully serial persist point.
+	q := New(1)
+	var last sim.Cycle
+	for i := 0; i < 10; i++ {
+		g := q.Admit(0)
+		if g < last {
+			t.Fatalf("grant went backwards: %d < %d", g, last)
+		}
+		last = g + 100
+		q.Occupy(last)
+	}
+	if last != 1000 {
+		t.Fatalf("final completion = %d, want 1000", last)
+	}
+}

@@ -1,0 +1,138 @@
+// Package xrand provides a small, fast, deterministic pseudo-random
+// number generator used to synthesize workload traces and block
+// contents. Determinism matters: every experiment in this repository
+// must be exactly reproducible from a seed, so we avoid math/rand's
+// global state and version-dependent algorithms.
+//
+// The generator is xoshiro256**, seeded via splitmix64, following the
+// reference construction by Blackman and Vigna.
+package xrand
+
+import "math"
+
+// RNG is a xoshiro256** pseudo-random number generator.
+// The zero value is not usable; construct with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed using splitmix64,
+// which guarantees a well-mixed nonzero internal state for any seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Lemire's nearly-divisionless bounded generation with rejection.
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul64 computes the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + t>>32 + (t&mask+aLo*bHi)>>32
+	return hi, lo
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean
+// m (the number of trials up to and including the first success),
+// via the O(1) inverse-transform method — constant time even for very
+// large means, unlike trial-by-trial rejection. m must be >= 1.
+func (r *RNG) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1 / m
+	u := r.Float64()
+	if u == 0 {
+		u = 0x1p-53
+	}
+	n := int(math.Log(u)/math.Log(1-p)) + 1
+	if n < 1 {
+		n = 1
+	}
+	const cap = 1 << 30 // bound pathological tails
+	if n > cap {
+		n = cap
+	}
+	return n
+}
+
+// Fill fills b with random bytes.
+func (r *RNG) Fill(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		b[i] = byte(v)
+		b[i+1] = byte(v >> 8)
+		b[i+2] = byte(v >> 16)
+		b[i+3] = byte(v >> 24)
+		b[i+4] = byte(v >> 32)
+		b[i+5] = byte(v >> 40)
+		b[i+6] = byte(v >> 48)
+		b[i+7] = byte(v >> 56)
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Reproduce everything: build, full test suite (including the Table I/II
+# functional validations and differential scheduler tests), the
+# benchmark suite, and every table/figure of the paper's evaluation.
+#
+# Usage: scripts/reproduce.sh [instructions-per-benchmark]
+# The default 4M runs in minutes; the paper's 100M takes hours.
+set -eu
+
+INSTR="${1:-4000000}"
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== benchmarks (scaled) =="
+go test -bench=. -benchmem -benchtime=1x .
+
+echo "== crash-recovery campaign =="
+go run ./cmd/plprecover -seeds 4 -writes 96
+
+echo "== paper evaluation (instr=$INSTR per benchmark) =="
+go run ./cmd/plptables -instr "$INSTR"
+
+echo "== full-memory headline figures =="
+go run ./cmd/plptables -instr "$INSTR" -full -exp fig8
+go run ./cmd/plptables -instr "$INSTR" -full -exp fig10
+
+echo "reproduction complete."
