@@ -6,6 +6,7 @@
 //
 //	plpsim -scheme coalescing -bench gamess -instr 10000000
 //	plpsim -scheme sp -bench gcc -full
+//	plpsim -metrics -bench gamess -instr 2000000
 //	plpsim -list
 package main
 
@@ -34,6 +35,7 @@ func main() {
 		readVer  = flag.Bool("read-verify", false, "model load-side verification traffic (ablation)")
 		traceIn  = flag.String("trace", "", "replay a recorded trace file instead of the synthetic generator")
 		custom   = flag.String("profile", "", "custom workload spec, e.g. name=kv,ipc=1.2,stores=80,stack=0.1,distinct=30,wb=5")
+		metrics  = flag.Bool("metrics", false, "run every scheme on the benchmark and print cycle attribution + latency percentiles")
 		list     = flag.Bool("list", false, "list benchmark profiles and exit")
 	)
 	flag.Parse()
@@ -81,9 +83,14 @@ func main() {
 			valid = true
 		}
 	}
-	if !valid {
+	if !valid && !*metrics {
 		fmt.Fprintf(os.Stderr, "plpsim: unknown scheme %q\n", *scheme)
 		os.Exit(1)
+	}
+
+	if *metrics {
+		printMetrics(cfg, prof)
+		return
 	}
 
 	var base, res engine.Result
@@ -122,6 +129,44 @@ func main() {
 	}
 	fmt.Printf("normalized time  %.3fx of secure_WB (baseline IPC %.4f)\n",
 		float64(res.Cycles)/float64(base.Cycles), base.IPC)
+}
+
+// printMetrics runs every evaluated scheme on the benchmark and prints
+// the observability view: where each scheme's cycles go (the engine's
+// per-component attribution) and its persist/epoch latency percentiles.
+func printMetrics(cfg engine.Config, prof trace.Profile) {
+	fmt.Printf("benchmark %s, %d instructions\n\n", prof.Name, cfg.Instructions)
+	for _, s := range engine.Schemes() {
+		c := cfg
+		c.Scheme = s
+		res := engine.Run(c, prof)
+		fmt.Printf("%s: %d cycles (IPC %.4f)\n", s, res.Cycles, res.IPC)
+		fmt.Printf("  cycles by cause:")
+		for _, comp := range engine.Components() {
+			if res.Attribution[comp] == 0 {
+				continue
+			}
+			fmt.Printf("  %s %.1f%%", comp, res.Attribution.Share(comp)*100)
+		}
+		fmt.Println()
+		if res.PersistLatency.Count() > 0 {
+			fmt.Printf("  persist latency: mean=%.0f p50<=%d p95<=%d p99<=%d max=%d\n",
+				res.PersistLatency.Mean(), res.PersistLatency.Percentile(50),
+				res.PersistLatency.Percentile(95), res.PersistLatency.Percentile(99),
+				res.PersistLatency.Max())
+		}
+		if res.WPQWaitLatency.Count() > 0 {
+			fmt.Printf("  WPQ admission wait: mean=%.0f p99<=%d\n",
+				res.WPQWaitLatency.Mean(), res.WPQWaitLatency.Percentile(99))
+		}
+		if res.EpochLatency.Count() > 0 {
+			fmt.Printf("  epoch latency: mean=%.0f p50<=%d p95<=%d p99<=%d (%d epochs)\n",
+				res.EpochLatency.Mean(), res.EpochLatency.Percentile(50),
+				res.EpochLatency.Percentile(95), res.EpochLatency.Percentile(99),
+				res.Epochs)
+		}
+		fmt.Println()
+	}
 }
 
 // loadTrace reads a recorded trace file.

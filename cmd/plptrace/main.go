@@ -1,19 +1,25 @@
 // Command plptrace records synthetic workload traces to disk and
 // inspects trace files, so experiments can replay identical operation
 // streams (or streams produced by external tools) through the
-// simulator via `plpsim -trace`.
+// simulator via `plpsim -trace`. It can also run a short simulation
+// with the engine's structured event trace enabled and dump the
+// events as JSONL for external analysis.
 //
 // Usage:
 //
 //	plptrace -record gamess -ops 1000000 -o gamess.trc
 //	plptrace -info gamess.trc
+//	plptrace -events gamess -scheme o3 -instr 100000 > events.jsonl
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"plp/internal/engine"
 	"plp/internal/trace"
 	"plp/internal/tracefile"
 )
@@ -24,10 +30,41 @@ func main() {
 		ops    = flag.Int("ops", 1_000_000, "operations to record")
 		out    = flag.String("o", "trace.trc", "output file")
 		info   = flag.String("info", "", "trace file to describe")
+		events = flag.String("events", "", "benchmark to simulate with event tracing (JSONL to stdout)")
+		scheme = flag.String("scheme", "o3", "scheme for -events")
+		instr  = flag.Uint64("instr", 100_000, "instructions for -events")
 	)
 	flag.Parse()
 
 	switch {
+	case *events != "":
+		p, ok := trace.ProfileByName(*events)
+		if !ok {
+			fatalf("unknown benchmark %q", *events)
+		}
+		valid := false
+		for _, s := range append(engine.Schemes(),
+			engine.SchemeSGXTree, engine.SchemeColocated) {
+			if engine.Scheme(*scheme) == s {
+				valid = true
+			}
+		}
+		if !valid {
+			fatalf("unknown scheme %q", *scheme)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		enc := json.NewEncoder(w)
+		cfg := engine.Config{Scheme: engine.Scheme(*scheme), Instructions: *instr}
+		cfg.Trace = func(ev engine.TraceEvent) {
+			if err := enc.Encode(ev); err != nil {
+				fatalf("encode: %v", err)
+			}
+		}
+		r := engine.Run(cfg, p)
+		fmt.Fprintf(os.Stderr, "plptrace: %s/%s: %d cycles, %d persists, %d epochs\n",
+			*scheme, *events, r.Cycles, r.Persists, r.Epochs)
+
 	case *record != "":
 		p, ok := trace.ProfileByName(*record)
 		if !ok {

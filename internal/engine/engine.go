@@ -118,8 +118,20 @@ type Config struct {
 	// (the sfence drain the core observes under epoch persistency).
 	FlushCyclesPerLine int
 
+	// Trace, when non-nil, observes structured events as the run
+	// progresses: one "persist" event per tuple persist (At =
+	// completion, Arg = data block, Arg2 = latency from WPQ admission)
+	// and one "epoch" event per epoch flush (At = completion, Arg =
+	// distinct blocks, Arg2 = latency from the drain). Nil costs
+	// nothing.
+	Trace sim.TraceFn
+
 	NVM nvm.Config
 }
+
+// TraceEvent re-exports the simulation kernel's event record for
+// Config.Trace consumers.
+type TraceEvent = sim.TraceEvent
 
 // WithMACLatency returns cfg with an explicit MAC latency (required to
 // express the Fig. 9 zero-latency point, since 0 means "default").
@@ -206,6 +218,19 @@ type Result struct {
 	// PersistLatency distributes each persist's latency from WPQ
 	// admission to root-update completion (cycles).
 	PersistLatency stats.Histogram
+	// EpochLatency distributes each epoch's latency from WPQ drain to
+	// its last root-update completion (epoch-persistency schemes only).
+	EpochLatency stats.Histogram
+	// WPQWaitLatency distributes per-persist WPQ admission waits.
+	WPQWaitLatency stats.Histogram
+
+	// Attribution decomposes Cycles by cause; its components sum
+	// exactly to Cycles.
+	Attribution Attribution
+	// AttribDrift is the float residue between the attributed core-time
+	// advances and Cycles before rounding — a consistency check on the
+	// timing model (near zero when every stall is labelled).
+	AttribDrift float64
 }
 
 // CoalescingReduction is the fraction of BMT node updates removed.
@@ -244,6 +269,12 @@ type machine struct {
 	// write queue: a line rewritten while its previous write is still
 	// queued coalesces instead of consuming write bandwidth.
 	lastWrite map[uint64]sim.Cycle
+
+	// Cycle attribution: att accumulates per-component core cycles;
+	// segs labels the current persist's critical path (see attrib.go).
+	att       attrib
+	segs      []segMark
+	segOrigin sim.Cycle
 }
 
 // mergeWindow approximates write-queue residency for write merging.
@@ -304,8 +335,11 @@ func (m *machine) nodeUpdate(label bmt.Label, start sim.Cycle) sim.Cycle {
 	ready := start
 	if !m.bmtCache.Access(bmtLine(label), true) {
 		ready = m.mem.Read(m.lay.BMTLine(label), ready)
+		m.mark(CompBMTFetch, ready)
 	}
-	return ready + m.cfg.MACLatency
+	done := ready + m.cfg.MACLatency
+	m.mark(CompMAC, done)
+	return done
 }
 
 // nodeUpdatePiped is nodeUpdate through the shared pipelined MAC units
@@ -332,6 +366,7 @@ func (m *machine) metaFetch(b addr.Block, ready sim.Cycle) sim.Cycle {
 	ab := m.aliasBlock(b)
 	if !m.ctrCache.Access(cache.Line(addr.PageOfBlock(b)), true) {
 		ready = m.mem.Read(m.lay.CtrLine(addr.PageOfBlock(ab)), ready)
+		m.mark(CompMeta, ready)
 	}
 	if !m.macCache.Access(cache.Line(mac.BlockOf(b)), true) {
 		// The MAC block fetch overlaps the BMT walk; it delays neither
@@ -340,6 +375,14 @@ func (m *machine) metaFetch(b addr.Block, ready sim.Cycle) sim.Cycle {
 		m.mem.Read(m.lay.MACLine(ab), ready)
 	}
 	return ready
+}
+
+// traceEvent emits one structured trace event when a Trace hook is
+// installed; with no hook it is a nil check and nothing more.
+func (m *machine) traceEvent(kind string, at sim.Cycle, arg, arg2 uint64) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace(sim.TraceEvent{At: at, Kind: kind, Arg: arg, Arg2: arg2})
+	}
 }
 
 // mergedWrite schedules an NVM write of the given line unless a write
@@ -483,6 +526,8 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 	}
 	res.PPKI = float64(res.Persists) / (float64(res.Instructions) / 1000)
 	res.WPQStalls = m.q.FullStalls
+	res.WPQWaitLatency = m.q.WaitLatency
+	res.Attribution, res.AttribDrift = m.att.finalize(res.Cycles)
 	res.CtrHitRate = m.ctrCache.Stats.HitRate()
 	res.MACHitRate = m.macCache.Stats.HitRate()
 	res.BMTHitRate = m.bmtCache.Stats.HitRate()

@@ -25,11 +25,14 @@ func maxf(a float64, b sim.Cycle) float64 {
 }
 
 // pathCost returns a ptt.LevelCost walking blk's update path with the
-// given per-node update function.
+// given per-node update function. The start cycle the table passes in
+// already includes its serialization gates, so the gap up to it is
+// marked as scheduling wait for cycle attribution.
 func (m *machine) pathCost(blk addr.Block, node func(bmt.Label, sim.Cycle) sim.Cycle) ptt.LevelCost {
 	path := m.topo.UpdatePath(m.leafOf(blk)) // leaf (level L) first
 	levels := m.topo.Levels()
 	return func(lvl int, start sim.Cycle) sim.Cycle {
+		m.mark(CompSched, start)
 		return node(path[levels-lvl], start)
 	}
 }
@@ -45,14 +48,19 @@ func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
 
 	m.data.OnMemWriteback = func(line cache.Line) {
 		blk := addr.Block(line)
+		m.beginPersist(cyc(coreTime))
 		grant := m.q.Admit(cyc(coreTime))
+		m.mark(CompWPQ, grant)
 		// A full WPQ back-pressures the eviction, which sits on the
 		// miss fill path: the core observes the stall.
+		before := coreTime
 		coreTime = maxf(coreTime, grant)
+		m.chargeStall(before, grant)
 		start := m.metaFetch(blk, grant)
 		done := tab.SequentialPersist(start, m.pathCost(blk, m.nodeUpdate))
 		m.persistWrites(blk, done)
 		m.q.Occupy(done)
+		m.traceEvent("persist", done, uint64(blk), uint64(done-grant))
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
 		res.Writebacks++
@@ -62,6 +70,7 @@ func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
 	for gen.Progress() < m.cfg.Instructions {
 		op := gen.Next()
 		coreTime += float64(op.Gap+1) * cpi
+		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
 			if m.cfg.ReadVerification {
 				m.verifyRead(op.Block, cyc(coreTime))
@@ -93,6 +102,7 @@ func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
 	for gen.Progress() < m.cfg.Instructions {
 		op := gen.Next()
 		coreTime += float64(op.Gap+1) * cpi
+		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
 			if m.cfg.ReadVerification {
 				m.verifyRead(op.Block, cyc(coreTime))
@@ -104,8 +114,12 @@ func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
 		if !m.cfg.mustPersist(op) {
 			continue
 		}
+		m.beginPersist(cyc(coreTime))
 		grant := m.q.Admit(cyc(coreTime))
+		m.mark(CompWPQ, grant)
+		before := coreTime
 		coreTime = maxf(coreTime, grant)
+		m.chargeStall(before, grant)
 		start, _ := issue.Acquire(grant)
 		done := m.metaFetch(op.Block, start)
 		for _, label := range m.topo.UpdatePath(m.leafOf(op.Block)) {
@@ -113,6 +127,7 @@ func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
 		}
 		m.persistWrites(op.Block, done)
 		m.q.Occupy(done)
+		m.traceEvent("persist", done, uint64(op.Block), uint64(done-grant))
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
@@ -136,6 +151,7 @@ func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
 	for gen.Progress() < m.cfg.Instructions {
 		op := gen.Next()
 		coreTime += float64(op.Gap+1) * cpi
+		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
 			if m.cfg.ReadVerification {
 				m.verifyRead(op.Block, cyc(coreTime))
@@ -147,7 +163,9 @@ func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
 		if !m.cfg.mustPersist(op) {
 			continue
 		}
+		m.beginPersist(cyc(coreTime))
 		grant := m.q.Admit(cyc(coreTime))
+		m.mark(CompWPQ, grant)
 		start := grant
 		if !colocated {
 			start = m.metaFetch(op.Block, grant)
@@ -158,7 +176,9 @@ func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
 				d := m.nodeUpdate(label, s)
 				// The counter-tree node itself must persist: its NVM
 				// write is on the persist's critical path.
-				return m.mem.Write(m.lay.BMTLine(label), d)
+				d = m.mem.Write(m.lay.BMTLine(label), d)
+				m.mark(CompNVMWrite, d)
+				return d
 			}
 		}
 		done := tab.SequentialPersist(start, m.pathCost(op.Block, node))
@@ -169,7 +189,10 @@ func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
 			m.persistWrites(op.Block, done)
 		}
 		m.q.Occupy(done)
+		before := coreTime
 		coreTime = maxf(coreTime, done) // strict: store blocks the core
+		m.chargeStall(before, done)
+		m.traceEvent("persist", done, uint64(op.Block), uint64(done-grant))
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
@@ -190,6 +213,7 @@ func runPipeline(m *machine, src trace.Source, ipc float64, res *Result) {
 	for gen.Progress() < m.cfg.Instructions {
 		op := gen.Next()
 		coreTime += float64(op.Gap+1) * cpi
+		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
 			if m.cfg.ReadVerification {
 				m.verifyRead(op.Block, cyc(coreTime))
@@ -201,14 +225,21 @@ func runPipeline(m *machine, src trace.Source, ipc float64, res *Result) {
 		if !m.cfg.mustPersist(op) {
 			continue
 		}
+		m.beginPersist(cyc(coreTime))
 		grant := m.q.Admit(cyc(coreTime))
+		m.mark(CompWPQ, grant)
 		start := m.metaFetch(op.Block, grant)
 		leafStart, done := tab.Persist(start, m.pathCost(op.Block, m.nodeUpdate))
 		m.persistWrites(op.Block, done)
 		m.q.Occupy(done)
 		// Under strict persistency the store holds the front of the
-		// persist order until it enters the pipeline's leaf stage.
+		// persist order until it enters the pipeline's leaf stage. The
+		// walk beyond leafStart is off the core's critical path, so
+		// chargeStall clamps the recorded segments at leafStart.
+		before := coreTime
 		coreTime = maxf(coreTime, leafStart)
+		m.chargeStall(before, leafStart)
+		m.traceEvent("persist", done, uint64(op.Block), uint64(done-grant))
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
@@ -246,6 +277,7 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 		// The sfence drains the epoch's dirty lines through the on-chip
 		// hierarchy into the WPQ; the core observes the drain.
 		coreTime += float64(len(blocks) * m.cfg.FlushCyclesPerLine)
+		m.att.add(CompFlush, float64(len(blocks)*m.cfg.FlushCyclesPerLine))
 		ready := cyc(coreTime)
 		// WPQ entries for every persist of the epoch.
 		grant := ready
@@ -275,10 +307,19 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 		for i, blk := range blocks {
 			m.persistWrites(blk, perDone[i])
 			m.q.Occupy(perDone[i])
+			m.traceEvent("persist", perDone[i], uint64(blk), uint64(perDone[i]-grant))
 			res.PersistLatency.Add(uint64(perDone[i] - grant))
 		}
+		m.traceEvent("epoch", done, uint64(len(blocks)), uint64(done-ready))
 		// The core waits at the epoch boundary only for an ETT slot.
+		// The walk's own marks (recorded while scheduling) are not on
+		// the core path; relabel the boundary wait explicitly.
+		m.beginPersist(ready)
+		m.mark(CompWPQ, grant)
+		m.mark(CompSched, admitted)
+		before := coreTime
 		coreTime = maxf(coreTime, admitted)
+		m.chargeStall(before, admitted)
 		res.Persists += uint64(len(blocks))
 		res.Epochs++
 		blocks = blocks[:0]
@@ -291,6 +332,7 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 	for gen.Progress() < m.cfg.Instructions {
 		op := gen.Next()
 		coreTime += float64(op.Gap+1) * cpi
+		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
 			if m.cfg.ReadVerification {
 				m.verifyRead(op.Block, cyc(coreTime))
@@ -317,4 +359,5 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 	res.BMTNodeUpdates = sched.NodeUpdates
 	res.BMTUpdatesNoCoal = sched.UpdatesNoCoal
 	res.SlotStalls = sched.SlotStalls
+	res.EpochLatency = sched.EpochLatency
 }

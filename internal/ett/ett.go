@@ -18,6 +18,7 @@ package ett
 import (
 	"plp/internal/bmt"
 	"plp/internal/sim"
+	"plp/internal/stats"
 )
 
 // LevelCost computes the completion time of one node update starting
@@ -67,6 +68,9 @@ type Scheduler struct {
 	NodeUpdates   uint64 // node updates actually performed
 	UpdatesNoCoal uint64 // node updates a non-coalescing scheme would do
 	SlotStalls    sim.Cycle
+	// EpochLatency distributes each epoch's latency from ready (dirty
+	// lines drained into the WPQ) to its last root-update completion.
+	EpochLatency stats.Histogram
 }
 
 // NewScheduler creates a scheduler over topo with the given number of
@@ -131,7 +135,9 @@ func (s *Scheduler) ScheduleEpoch(ready sim.Cycle, leaves []bmt.Label, cost Leve
 	s.SlotStalls += start - ready
 
 	if s.policy == PolicyChained {
-		return s.scheduleChained(start, leaves, cost)
+		admitted, done, perPersist = s.scheduleChained(start, leaves, cost)
+		s.EpochLatency.Add(uint64(done - ready))
+		return admitted, done, perPersist
 	}
 
 	// Build plans, pairing for coalescing.
@@ -204,6 +210,7 @@ func (s *Scheduler) ScheduleEpoch(ready sim.Cycle, leaves []bmt.Label, cost Leve
 	copy(s.levelGate, newGate)
 	s.complete[s.head] = epochDone
 	s.head = (s.head + 1) % s.slots
+	s.EpochLatency.Add(uint64(epochDone - ready))
 	return start, epochDone, pdone
 }
 
@@ -242,6 +249,8 @@ func PairedNodeCount(topo *bmt.Topology, leaves []bmt.Label) int {
 // every distinct node of the epoch's update paths is updated exactly
 // once, after all of its updated children — a dependency-ordered DAG
 // schedule. The epoch's persists all complete with the root update.
+// The caller (ScheduleEpoch) records EpochLatency against the
+// pre-admission ready time, so it is not recorded here.
 func (s *Scheduler) scheduleChained(start sim.Cycle, leaves []bmt.Label, cost LevelCost) (admitted, done sim.Cycle, perPersist []sim.Cycle) {
 	levels := s.topo.Levels()
 	// Collect the union of path nodes per level, in insertion order,

@@ -271,3 +271,22 @@ func TestReferenceDoneAccessor(t *testing.T) {
 		t.Fatalf("Done(%d) = %d, want 30", id, ref.Done(id))
 	}
 }
+
+func TestEpochLatencyHistogram(t *testing.T) {
+	topo := fig5()
+	for _, policy := range []Policy{PolicyNone, PolicyPaired, PolicyChained} {
+		s := NewScheduler(topo, 2, policy)
+		var last sim.Cycle
+		for e := 0; e < 4; e++ {
+			_, done, _ := s.ScheduleEpoch(last, fig5Leaves(topo), fixedCost(10))
+			last = done
+		}
+		if s.EpochLatency.Count() != 4 {
+			t.Fatalf("policy %d: epoch latency samples = %d, want 4",
+				policy, s.EpochLatency.Count())
+		}
+		if s.EpochLatency.Max() == 0 {
+			t.Fatalf("policy %d: zero epoch latency", policy)
+		}
+	}
+}

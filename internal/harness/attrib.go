@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+
+	"plp/internal/engine"
+	"plp/internal/stats"
+	"plp/internal/trace"
+)
+
+// Attrib is an extension experiment: a per-component breakdown of each
+// scheme's execution cycles (the engine's cycle attribution) alongside
+// its persist-latency percentiles. It quantifies the paper's §VII
+// narrative directly — sp's cycles go to the MAC stage, pipelining
+// clamps the walk off the critical path, epoch schemes trade it for
+// flush and slot-admission time — instead of leaving the reader to
+// infer causes from totals.
+func Attrib(o Options) *Experiment {
+	r := newRunner(o)
+	schemes := engine.Schemes()
+	comps := engine.Components()
+	profs := r.o.profiles()
+
+	// cells per (bench, scheme): normalized time, one share per
+	// component, then persist-latency p50/p95/p99.
+	cols := 1 + len(comps) + 3
+	rows := make([][][]float64, len(profs))
+	r.parallel(profs, func(i int, p trace.Profile) {
+		base := r.baseline(p)
+		perScheme := make([][]float64, len(schemes))
+		for si, s := range schemes {
+			res := engine.Run(r.cfg(s), p)
+			cells := make([]float64, 0, cols)
+			cells = append(cells, float64(res.Cycles)/float64(base.Cycles))
+			for _, c := range comps {
+				cells = append(cells, res.Attribution.Share(c)*100)
+			}
+			cells = append(cells,
+				float64(res.PersistLatency.Percentile(50)),
+				float64(res.PersistLatency.Percentile(95)),
+				float64(res.PersistLatency.Percentile(99)))
+			perScheme[si] = cells
+		}
+		rows[i] = perScheme
+	})
+
+	header := []string{"scheme/bench", "norm"}
+	for _, c := range comps {
+		header = append(header, c.String()+"%")
+	}
+	header = append(header, "p50", "p95", "p99")
+	tab := stats.NewTable(header...)
+	summary := map[string]float64{}
+	for si, s := range schemes {
+		group := make([][]float64, len(profs))
+		for i, p := range profs {
+			group[i] = rows[i][si]
+			tab.AddFloats(fmt.Sprintf("%s/%s", s, p.Name), "%.1f", rows[i][si]...)
+		}
+		// Normalized time averages geometrically (it is a ratio); shares
+		// and latency percentiles average arithmetically.
+		norms := make([]float64, len(group))
+		for i, g := range group {
+			norms[i] = g[0]
+		}
+		avgs := columnMeans(group)
+		avgs[0] = stats.GeoMean(norms)
+		tab.AddFloats(string(s)+" gmean", "%.1f", avgs...)
+		summary["gmean "+string(s)+" norm"] = avgs[0]
+		summary["mean "+string(s)+" mac share"] = avgs[1+int(engine.CompMAC)]
+	}
+	return &Experiment{
+		ID:          "Attrib",
+		Description: "extension: cycle attribution by component (% of execution) and persist-latency percentiles per scheme",
+		Table:       tab,
+		Summary:     summary,
+	}
+}

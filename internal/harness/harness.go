@@ -101,12 +101,12 @@ func (e *Experiment) String() string {
 type runner struct {
 	o     Options
 	mu    sync.Mutex
-	bases map[string]engine.Result
+	bases map[string]*baseEntry
 }
 
 func newRunner(o Options) *runner {
 	o.fill()
-	return &runner{o: o, bases: make(map[string]engine.Result)}
+	return &runner{o: o, bases: make(map[string]*baseEntry)}
 }
 
 func (r *runner) cfg(s engine.Scheme) engine.Config {
@@ -483,11 +483,12 @@ func All() map[string]func(Options) *Experiment {
 		"variance": Variance,
 		"nvm":      NVMSweep,
 		"latency":  Latency,
+		"attrib":   Attrib,
 	}
 }
 
 // Order lists experiment IDs in presentation order.
 func Order() []string {
 	return []string{"tableV", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"wpq", "mdc", "llc", "coalesce", "variance", "nvm", "latency"}
+		"wpq", "mdc", "llc", "coalesce", "variance", "nvm", "latency", "attrib"}
 }

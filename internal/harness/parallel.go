@@ -44,22 +44,36 @@ func (r *runner) parallel(profs []trace.Profile, fn func(i int, p trace.Profile)
 	wg.Wait()
 }
 
+// engineRun indirects engine.Run so tests can count how many times the
+// baseline is actually computed.
+var engineRun = engine.Run
+
+// baseEntry is one baseline cache slot; its once guarantees the run
+// happens exactly once even when many workers want it simultaneously.
+type baseEntry struct {
+	once sync.Once
+	res  engine.Result
+}
+
 // baseline returns the cached secure_WB run for p, computing it on
-// first use. Safe for concurrent callers.
+// first use. Safe for concurrent callers: simultaneous first users of
+// a key share a single computation instead of each running their own
+// (the result was deterministic either way, but a recomputation wastes
+// a worker for the whole baseline run).
 func (r *runner) baseline(p trace.Profile) engine.Result {
 	key := p.Name
 	if r.o.FullMemory {
 		key += "|full"
 	}
 	r.mu.Lock()
-	res, ok := r.bases[key]
-	r.mu.Unlock()
-	if ok {
-		return res
+	e, ok := r.bases[key]
+	if !ok {
+		e = &baseEntry{}
+		r.bases[key] = e
 	}
-	res = engine.Run(r.cfg(engine.SchemeSecureWB), p)
-	r.mu.Lock()
-	r.bases[key] = res
 	r.mu.Unlock()
-	return res
+	e.once.Do(func() {
+		e.res = engineRun(r.cfg(engine.SchemeSecureWB), p)
+	})
+	return e.res
 }

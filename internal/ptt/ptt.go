@@ -14,7 +14,10 @@
 // retired.
 package ptt
 
-import "plp/internal/sim"
+import (
+	"plp/internal/sim"
+	"plp/internal/stats"
+)
 
 // LevelCost computes the completion time of one node update that may
 // begin at start, for the node at the given 1-based level (1 = root).
@@ -41,6 +44,9 @@ type Table struct {
 	// cycles waiting for a free PTT entry.
 	Persists    uint64
 	AdmitStalls sim.Cycle
+	// Latency distributes each persist's in-table latency: from ready
+	// (update path may begin) to root-update completion.
+	Latency stats.Histogram
 }
 
 // New creates a PTT for a tree with the given number of levels and
@@ -92,6 +98,7 @@ func (t *Table) Persist(ready sim.Cycle, cost LevelCost) (leafStart, rootDone si
 	}
 	t.retire[t.head] = done
 	t.head = (t.head + 1) % t.capacity
+	t.Latency.Add(uint64(done - ready))
 	return start, done
 }
 
@@ -111,5 +118,6 @@ func (t *Table) SequentialPersist(ready sim.Cycle, cost LevelCost) (rootDone sim
 		done = cost(lvl, done)
 		t.stageDone[lvl-1] = done
 	}
+	t.Latency.Add(uint64(done - ready))
 	return done
 }

@@ -165,3 +165,25 @@ func BenchmarkPipelinedPersist(b *testing.B) {
 		tab.Persist(0, c)
 	}
 }
+
+func TestPersistLatencyHistogram(t *testing.T) {
+	tab := New(9, 64)
+	for i := 0; i < 5; i++ {
+		tab.SequentialPersist(0, fixedCost(80))
+	}
+	if tab.Latency.Count() != 5 {
+		t.Fatalf("latency samples = %d, want 5", tab.Latency.Count())
+	}
+	// Serialized persists: i-th completes at (i+1)*720 from ready 0.
+	if min := tab.Latency.Percentile(1); min < 720 {
+		t.Fatalf("fastest persist %d below the 720-cycle floor", min)
+	}
+	if tab.Latency.Max() != 5*720 {
+		t.Fatalf("max latency = %d, want %d", tab.Latency.Max(), 5*720)
+	}
+	pipe := New(9, 64)
+	pipe.Persist(0, fixedCost(80))
+	if pipe.Latency.Count() != 1 || pipe.Latency.Max() != 720 {
+		t.Fatalf("pipelined first persist latency = %d", pipe.Latency.Max())
+	}
+}

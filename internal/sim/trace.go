@@ -1,0 +1,19 @@
+package sim
+
+// TraceEvent is one structured observation emitted by a simulation.
+// Producers keep Kind to a small stable vocabulary ("dispatch" for
+// kernel event dispatch; the engine adds "persist" and "epoch") so
+// consumers can filter without schema knowledge; Arg/Arg2 carry
+// kind-specific payloads (an address, a latency, a count). The field
+// tags make events directly encodable as JSONL.
+type TraceEvent struct {
+	At   Cycle  `json:"at"`
+	Kind string `json:"kind"`
+	Arg  uint64 `json:"arg,omitempty"`
+	Arg2 uint64 `json:"arg2,omitempty"`
+}
+
+// TraceFn consumes trace events. A nil TraceFn disables tracing:
+// producers guard every emission with a nil check, so the hook costs
+// nothing when unused.
+type TraceFn func(TraceEvent)

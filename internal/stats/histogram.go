@@ -7,9 +7,10 @@ import (
 )
 
 // Histogram is a power-of-two-bucketed latency histogram: bucket i
-// counts samples in [2^(i-1), 2^i) (bucket 0 counts zeros and ones).
-// It supports exact count/sum plus approximate percentiles, which is
-// what the persist-latency reporting needs.
+// counts samples in [2^(i-1), 2^i) for i >= 1; bucket 0 counts zeros
+// and the last bucket additionally absorbs all samples beyond its
+// range. It supports exact count/sum plus approximate percentiles,
+// which is what the persist-latency reporting needs.
 type Histogram struct {
 	buckets [48]uint64
 	count   uint64
@@ -17,14 +18,20 @@ type Histogram struct {
 	max     uint64
 }
 
-// Add records one sample.
+// Add records one sample. Samples beyond the top bucket's range clamp
+// into the last bucket (bits.Len64 can return up to 64, the array has
+// 48 buckets).
 func (h *Histogram) Add(v uint64) {
 	h.count++
 	h.sum += v
 	if v > h.max {
 		h.max = v
 	}
-	h.buckets[bits.Len64(v)]++
+	b := bits.Len64(v)
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
 }
 
 // Count returns the number of samples.
@@ -61,8 +68,13 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= target {
+			if i == len(h.buckets)-1 {
+				// The last bucket absorbs all out-of-range samples, so
+				// its only meaningful upper bound is the observed max.
+				return h.max
+			}
 			if i == 0 {
-				return 1
+				return 0 // bucket 0 holds only zero-valued samples
 			}
 			top := uint64(1)<<uint(i) - 1
 			if top > h.max {

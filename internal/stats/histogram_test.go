@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -87,6 +88,45 @@ func TestPropertyPercentileIsUpperBound(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAddHugeSampleDoesNotPanic(t *testing.T) {
+	// Regression: samples >= 2^47 used to index past the bucket array
+	// (bits.Len64 can return up to 64 for a [48]uint64 array).
+	var h Histogram
+	h.Add(1 << 47)
+	h.Add(math.MaxUint64)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != math.MaxUint64 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if p := h.Percentile(99); p != math.MaxUint64 {
+		t.Fatalf("p99 = %d, want clamp to max", p)
+	}
+	if !strings.Contains(h.String(), "n=2") {
+		t.Fatalf("render: %s", h.String())
+	}
+}
+
+func TestPercentileAllZeros(t *testing.T) {
+	// Regression: bucket 0 unconditionally reported 1 even when every
+	// sample was zero.
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Add(0)
+	}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if v := h.Percentile(p); v != 0 {
+			t.Fatalf("p%.0f = %d, want 0 for all-zero samples", p, v)
+		}
+	}
+	// A single one among zeros still reports at most the max.
+	h.Add(1)
+	if v := h.Percentile(100); v != 1 {
+		t.Fatalf("p100 = %d, want 1", v)
 	}
 }
 

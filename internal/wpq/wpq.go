@@ -13,6 +13,7 @@ import (
 	"container/heap"
 
 	"plp/internal/sim"
+	"plp/internal/stats"
 )
 
 type cycleHeap []sim.Cycle
@@ -38,6 +39,9 @@ type Queue struct {
 	// accumulates cycles spent waiting for a free entry.
 	Admitted   uint64
 	FullStalls sim.Cycle
+	// WaitLatency distributes per-request admission waits (0 when an
+	// entry was free immediately).
+	WaitLatency stats.Histogram
 }
 
 // New creates a WPQ with the given entry count (Table III default 32).
@@ -68,6 +72,7 @@ func (q *Queue) Admit(ready sim.Cycle) sim.Cycle {
 		}
 	}
 	q.FullStalls += granted - ready
+	q.WaitLatency.Add(uint64(granted - ready))
 	return granted
 }
 

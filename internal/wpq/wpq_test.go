@@ -99,3 +99,22 @@ func TestSerializationWithCapacityOne(t *testing.T) {
 		t.Fatalf("final completion = %d, want 1000", last)
 	}
 }
+
+func TestWaitLatencyHistogram(t *testing.T) {
+	q := New(2)
+	q.Admit(0)
+	q.Occupy(500)
+	q.Admit(0)
+	q.Occupy(700)
+	q.Admit(0) // waits until 500
+	if q.WaitLatency.Count() != 3 {
+		t.Fatalf("wait samples = %d, want 3", q.WaitLatency.Count())
+	}
+	if q.WaitLatency.Max() != 500 {
+		t.Fatalf("max wait = %d, want 500", q.WaitLatency.Max())
+	}
+	// The two uncontended admissions recorded zero waits.
+	if p := q.WaitLatency.Percentile(50); p != 0 {
+		t.Fatalf("p50 wait = %d, want 0", p)
+	}
+}
