@@ -1,0 +1,161 @@
+// Command plpbench is the performance-regression gate: it records
+// simulation sweeps into versioned registry files (BENCH_<tag>.json)
+// and compares two registry files, flagging per-benchmark cycle
+// deltas beyond a noise threshold. The simulator is deterministic, so
+// an unchanged tree reproduces the committed baseline exactly; a
+// regression exit (non-zero) means the timing model actually changed.
+//
+// Usage:
+//
+//	plpbench record -o BENCH_seed.json -tag seed
+//	plpbench record -o /tmp/fresh.json -benches gamess,gcc -schemes sp,coalescing
+//	plpbench compare BENCH_seed.json /tmp/fresh.json
+//	plpbench compare -threshold 0.05 -warn old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"plp/internal/engine"
+	"plp/internal/harness"
+	"plp/internal/registry"
+	"plp/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "compare":
+		compare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  plpbench record  [-o FILE] [-tag TAG] [-instr N] [-benches a,b] [-schemes s1,s2]
+                   [-full] [-interval N] [-parallel N] [-no-telemetry]
+  plpbench compare [-threshold F] [-warn] OLD.json NEW.json
+`)
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out      = fs.String("o", "BENCH.json", "output registry file")
+		tag      = fs.String("tag", "", "registry tag (default: derived from -o)")
+		instr    = fs.Uint64("instr", 2_000_000, "instructions per benchmark run")
+		benches  = fs.String("benches", "", "comma-separated benchmark subset (default all 15)")
+		schemes  = fs.String("schemes", "", "comma-separated scheme subset (default the six evaluated)")
+		full     = fs.Bool("full", false, "full-memory protection (persist stack too)")
+		interval = fs.Uint64("interval", 0, "telemetry window width in cycles (0 = default)")
+		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		noTel    = fs.Bool("no-telemetry", false, "skip the time series (headline numbers only)")
+	)
+	fs.Parse(args)
+
+	o := harness.RecordOptions{
+		Options: harness.Options{
+			Instructions: *instr,
+			FullMemory:   *full,
+			Parallel:     *parallel,
+		},
+		Interval:    sim.Cycle(*interval),
+		NoTelemetry: *noTel,
+	}
+	if *benches != "" {
+		o.Benches = strings.Split(*benches, ",")
+	}
+	if *schemes != "" {
+		for _, s := range strings.Split(*schemes, ",") {
+			sch := engine.Scheme(s)
+			if !validScheme(sch) {
+				fatalf("unknown scheme %q", s)
+			}
+			o.Schemes = append(o.Schemes, sch)
+		}
+	}
+	if *tag == "" {
+		*tag = tagFromPath(*out)
+	}
+
+	runs := harness.Record(o)
+	f := registry.New(*tag, *instr, *full)
+	f.Runs = runs
+	if err := registry.Write(*out, f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("recorded %d runs (%d instructions each) to %s\n", len(runs), *instr, *out)
+}
+
+func compare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var (
+		threshold = fs.Float64("threshold", 0.02, "noise threshold as a fraction (0.02 = 2%)")
+		warn      = fs.Bool("warn", false, "report regressions but exit zero (warn-only gate)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	oldF, err := registry.Load(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newF, err := registry.Load(fs.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep := registry.Compare(oldF, newF, *threshold)
+	fmt.Printf("comparing %s (%s) -> %s (%s)\n", fs.Arg(0), oldF.Tag, fs.Arg(1), newF.Tag)
+	fmt.Print(rep.String())
+	if rep.Failed() {
+		if *warn {
+			fmt.Println("WARN: regressions detected (warn-only mode, exiting 0)")
+			return
+		}
+		os.Exit(1)
+	}
+	fmt.Println("no regressions.")
+}
+
+// validScheme accepts the evaluated schemes plus the extensions.
+func validScheme(s engine.Scheme) bool {
+	for _, v := range append(engine.Schemes(),
+		engine.SchemeSGXTree, engine.SchemeColocated) {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// tagFromPath derives a tag from "BENCH_<tag>.json"-shaped paths,
+// falling back to the bare filename.
+func tagFromPath(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ".json")
+	base = strings.TrimPrefix(base, "BENCH_")
+	base = strings.TrimPrefix(base, "BENCH")
+	if base == "" {
+		return "bench"
+	}
+	return base
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "plpbench: "+format+"\n", args...)
+	os.Exit(1)
+}

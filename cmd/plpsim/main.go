@@ -7,15 +7,19 @@
 //	plpsim -scheme coalescing -bench gamess -instr 10000000
 //	plpsim -scheme sp -bench gcc -full
 //	plpsim -metrics -bench gamess -instr 2000000
+//	plpsim -json -scheme o3 -bench gcc          # machine-readable result
 //	plpsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"plp/internal/engine"
+	"plp/internal/registry"
 	"plp/internal/sim"
 	"plp/internal/trace"
 	"plp/internal/tracefile"
@@ -36,6 +40,7 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay a recorded trace file instead of the synthetic generator")
 		custom   = flag.String("profile", "", "custom workload spec, e.g. name=kv,ipc=1.2,stores=80,stack=0.1,distinct=30,wb=5")
 		metrics  = flag.Bool("metrics", false, "run every scheme on the benchmark and print cycle attribution + latency percentiles")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (full result incl. attribution and latency percentiles) instead of the text table")
 		list     = flag.Bool("list", false, "list benchmark profiles and exit")
 	)
 	flag.Parse()
@@ -89,7 +94,11 @@ func main() {
 	}
 
 	if *metrics {
-		printMetrics(cfg, prof)
+		if *jsonOut {
+			writeMetricsJSON(os.Stdout, cfg, prof)
+		} else {
+			writeMetrics(os.Stdout, cfg, prof)
+		}
 		return
 	}
 
@@ -103,6 +112,11 @@ func main() {
 		base = engine.Run(engine.Config{Scheme: engine.SchemeSecureWB,
 			Instructions: *instr, FullMemory: *full}, prof)
 		res = engine.Run(cfg, prof)
+	}
+
+	if *jsonOut {
+		writeResultJSON(os.Stdout, res, base)
+		return
 	}
 
 	fmt.Printf("benchmark        %s\n", res.Bench)
@@ -131,41 +145,86 @@ func main() {
 		float64(res.Cycles)/float64(base.Cycles), base.IPC)
 }
 
-// printMetrics runs every evaluated scheme on the benchmark and prints
+// writeMetrics runs every evaluated scheme on the benchmark and prints
 // the observability view: where each scheme's cycles go (the engine's
 // per-component attribution) and its persist/epoch latency percentiles.
-func printMetrics(cfg engine.Config, prof trace.Profile) {
-	fmt.Printf("benchmark %s, %d instructions\n\n", prof.Name, cfg.Instructions)
+// Schemes are emitted in Table IV order and components in reporting
+// order — never by ranging over a map — so the output is deterministic
+// (pinned by a golden test).
+func writeMetrics(w io.Writer, cfg engine.Config, prof trace.Profile) {
+	fmt.Fprintf(w, "benchmark %s, %d instructions\n\n", prof.Name, cfg.Instructions)
 	for _, s := range engine.Schemes() {
 		c := cfg
 		c.Scheme = s
 		res := engine.Run(c, prof)
-		fmt.Printf("%s: %d cycles (IPC %.4f)\n", s, res.Cycles, res.IPC)
-		fmt.Printf("  cycles by cause:")
+		fmt.Fprintf(w, "%s: %d cycles (IPC %.4f)\n", s, res.Cycles, res.IPC)
+		fmt.Fprintf(w, "  cycles by cause:")
 		for _, comp := range engine.Components() {
 			if res.Attribution[comp] == 0 {
 				continue
 			}
-			fmt.Printf("  %s %.1f%%", comp, res.Attribution.Share(comp)*100)
+			fmt.Fprintf(w, "  %s %.1f%%", comp, res.Attribution.Share(comp)*100)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		if res.PersistLatency.Count() > 0 {
-			fmt.Printf("  persist latency: mean=%.0f p50<=%d p95<=%d p99<=%d max=%d\n",
+			fmt.Fprintf(w, "  persist latency: mean=%.0f p50<=%d p95<=%d p99<=%d max=%d\n",
 				res.PersistLatency.Mean(), res.PersistLatency.Percentile(50),
 				res.PersistLatency.Percentile(95), res.PersistLatency.Percentile(99),
 				res.PersistLatency.Max())
 		}
 		if res.WPQWaitLatency.Count() > 0 {
-			fmt.Printf("  WPQ admission wait: mean=%.0f p99<=%d\n",
+			fmt.Fprintf(w, "  WPQ admission wait: mean=%.0f p99<=%d\n",
 				res.WPQWaitLatency.Mean(), res.WPQWaitLatency.Percentile(99))
 		}
 		if res.EpochLatency.Count() > 0 {
-			fmt.Printf("  epoch latency: mean=%.0f p50<=%d p95<=%d p99<=%d (%d epochs)\n",
+			fmt.Fprintf(w, "  epoch latency: mean=%.0f p50<=%d p95<=%d p99<=%d (%d epochs)\n",
 				res.EpochLatency.Mean(), res.EpochLatency.Percentile(50),
 				res.EpochLatency.Percentile(95), res.EpochLatency.Percentile(99),
 				res.Epochs)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
+	}
+}
+
+// writeMetricsJSON is the machine-readable -metrics view: one registry
+// record per scheme, in Table IV order.
+func writeMetricsJSON(w io.Writer, cfg engine.Config, prof trace.Profile) {
+	runs := make([]registry.Run, 0, len(engine.Schemes()))
+	for _, s := range engine.Schemes() {
+		c := cfg
+		c.Scheme = s
+		runs = append(runs, registry.FromResult(engine.Run(c, prof), nil))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(runs); err != nil {
+		fmt.Fprintf(os.Stderr, "plpsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeResultJSON emits one run's full machine-readable result
+// (attribution, latency digests) plus its baseline normalization, so
+// scripts stop scraping the text table.
+func writeResultJSON(w io.Writer, res, base engine.Result) {
+	out := struct {
+		Run            registry.Run `json:"run"`
+		BaselineCycles uint64       `json:"baselineCycles"`
+		BaselineIPC    float64      `json:"baselineIPC"`
+		Normalized     float64      `json:"normalizedTime"`
+	}{
+		Run:            registry.FromResult(res, nil),
+		BaselineCycles: uint64(base.Cycles),
+		BaselineIPC:    base.IPC,
+	}
+	if base.Cycles > 0 {
+		out.Normalized = float64(res.Cycles) / float64(base.Cycles)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "plpsim: %v\n", err)
+		os.Exit(1)
 	}
 }
 

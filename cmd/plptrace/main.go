@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"plp/internal/engine"
@@ -52,16 +53,10 @@ func main() {
 		if !valid {
 			fatalf("unknown scheme %q", *scheme)
 		}
-		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
-		enc := json.NewEncoder(w)
-		cfg := engine.Config{Scheme: engine.Scheme(*scheme), Instructions: *instr}
-		cfg.Trace = func(ev engine.TraceEvent) {
-			if err := enc.Encode(ev); err != nil {
-				fatalf("encode: %v", err)
-			}
+		r, err := writeEvents(os.Stdout, engine.Scheme(*scheme), p, *instr)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		r := engine.Run(cfg, p)
 		fmt.Fprintf(os.Stderr, "plptrace: %s/%s: %d cycles, %d persists, %d epochs\n",
 			*scheme, *events, r.Cycles, r.Persists, r.Epochs)
 
@@ -119,6 +114,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeEvents runs one traced simulation and streams its structured
+// events to w as JSONL. Events are emitted in the engine's scheduling
+// order, which is fully deterministic (the simulator has no map-order
+// or goroutine nondeterminism on this path) — pinned by a golden test.
+func writeEvents(w io.Writer, scheme engine.Scheme, p trace.Profile, instr uint64) (engine.Result, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var encErr error
+	cfg := engine.Config{Scheme: scheme, Instructions: instr}
+	cfg.Trace = func(ev engine.TraceEvent) {
+		if err := enc.Encode(ev); err != nil && encErr == nil {
+			encErr = err
+		}
+	}
+	r := engine.Run(cfg, p)
+	if encErr != nil {
+		return r, fmt.Errorf("encode: %w", encErr)
+	}
+	return r, bw.Flush()
 }
 
 func fatalf(format string, args ...interface{}) {

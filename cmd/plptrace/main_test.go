@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plp/internal/engine"
+	"plp/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func eventsOutput(t *testing.T) ([]byte, engine.Result) {
+	t.Helper()
+	p, ok := trace.ProfileByName("gamess")
+	if !ok {
+		t.Fatal("gamess profile missing")
+	}
+	var buf bytes.Buffer
+	r, err := writeEvents(&buf, engine.SchemeO3, p, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), r
+}
+
+// The -events stream must be byte-identical across invocations and
+// match the committed golden file (deterministic scheduling order).
+func TestWriteEventsGolden(t *testing.T) {
+	got, res := eventsOutput(t)
+	if again, _ := eventsOutput(t); !bytes.Equal(got, again) {
+		t.Fatal("writeEvents output differs between identical invocations")
+	}
+	if res.Persists == 0 {
+		t.Fatal("test run performed no persists; events stream is vacuous")
+	}
+	golden := filepath.Join("testdata", "events_o3_gamess_20k.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/plptrace -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("writeEvents output differs from golden file %s\n"+
+			"(if the timing model changed intentionally, refresh with -update)", golden)
+	}
+}
+
+// Every line of the stream must be a well-formed event record, and
+// the per-kind event counts must match the run's result totals.
+func TestWriteEventsWellFormed(t *testing.T) {
+	out, res := eventsOutput(t)
+	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
+	kinds := map[string]int{}
+	for i, line := range lines {
+		var ev engine.TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds["persist"] != int(res.Persists) {
+		t.Errorf("stream has %d persist events, result reports %d", kinds["persist"], res.Persists)
+	}
+	if kinds["epoch"] != int(res.Epochs) {
+		t.Errorf("stream has %d epoch events, result reports %d", kinds["epoch"], res.Epochs)
+	}
+}

@@ -75,6 +75,16 @@ func Components() []Component {
 	return out
 }
 
+// ComponentLabels returns the component names in reporting order —
+// the stall-mix labels the telemetry sampler is configured with.
+func ComponentLabels() []string {
+	out := make([]string, NumComponents)
+	for i := range out {
+		out[i] = Component(i).String()
+	}
+	return out
+}
+
 // Attribution is a per-component decomposition of Result.Cycles. Its
 // components always sum exactly to the result's cycle count (asserted
 // in tests), which makes the attribution double as a consistency check

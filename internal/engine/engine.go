@@ -30,12 +30,15 @@ import (
 	"plp/internal/addr"
 	"plp/internal/bmt"
 	"plp/internal/cache"
+	"plp/internal/ett"
 	"plp/internal/hier"
 	"plp/internal/layout"
 	"plp/internal/mac"
 	"plp/internal/nvm"
+	"plp/internal/ptt"
 	"plp/internal/sim"
 	"plp/internal/stats"
+	"plp/internal/telemetry"
 	"plp/internal/trace"
 	"plp/internal/wpq"
 )
@@ -125,6 +128,14 @@ type Config struct {
 	// distinct blocks, Arg2 = latency from the drain). Nil costs
 	// nothing.
 	Trace sim.TraceFn
+
+	// Telemetry, when non-nil, receives a cumulative probe at every
+	// persist/epoch boundary plus one final probe at run end, building
+	// the windowed time series (WPQ/PTT/ETT occupancy, NVM traffic,
+	// persists retired, stall-cause mix over simulated cycles). Nil
+	// disables sampling at zero cost — no probe is built, nothing
+	// allocates.
+	Telemetry *telemetry.Sampler
 
 	NVM nvm.Config
 }
@@ -275,6 +286,12 @@ type machine struct {
 	att       attrib
 	segs      []segMark
 	segOrigin sim.Cycle
+
+	// Telemetry probe sources: the scheme runner registers whichever
+	// tracking table it drives so sample() can read its occupancy.
+	pttTab      *ptt.Table
+	ettSched    *ett.Scheduler
+	probeStalls []float64 // reusable cumulative stall buffer
 }
 
 // mergeWindow approximates write-queue residency for write merging.
@@ -307,7 +324,39 @@ func newMachine(cfg Config) *machine {
 		m.aliasBlocks = covered
 	}
 	m.lay = layout.MustNew(m.aliasBlocks, m.topo)
+	if cfg.Telemetry != nil {
+		m.probeStalls = make([]float64, NumComponents)
+	}
 	return m
+}
+
+// sample feeds the telemetry sampler one cumulative probe at the
+// given core cycle. With no sampler installed it is a nil check and
+// nothing more (zero allocations, asserted in tests).
+func (m *machine) sample(at sim.Cycle, res *Result) {
+	tel := m.cfg.Telemetry
+	if tel == nil {
+		return
+	}
+	for i := range m.probeStalls {
+		m.probeStalls[i] = m.att.comp[i]
+	}
+	p := telemetry.Probe{
+		At:           at,
+		WPQOccupancy: m.q.InFlightAt(at),
+		Persists:     res.Persists,
+		Epochs:       res.Epochs,
+		NVMReads:     m.mem.Reads,
+		NVMWrites:    m.mem.Writes,
+		Stalls:       m.probeStalls,
+	}
+	if m.pttTab != nil {
+		p.PTTOccupancy = m.pttTab.InFlightAt(at)
+	}
+	if m.ettSched != nil {
+		p.ETTOccupancy = m.ettSched.InFlightAt(at)
+	}
+	tel.Record(p)
 }
 
 // leafOf maps a data block to its BMT leaf label (one leaf per
@@ -533,6 +582,9 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 	res.BMTHitRate = m.bmtCache.Stats.HitRate()
 	res.NVMReads = m.mem.Reads
 	res.NVMWrites = m.mem.Writes
+	// Close the time series: the final probe carries the run totals, so
+	// the per-window deltas sum exactly to the Result counters.
+	m.sample(res.Cycles, &res)
 	return res
 }
 

@@ -45,6 +45,7 @@ func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	coreTime := 0.0
 	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
+	m.pttTab = tab
 
 	m.data.OnMemWriteback = func(line cache.Line) {
 		blk := addr.Block(line)
@@ -65,6 +66,7 @@ func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
 		res.Persists++
 		res.Writebacks++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+		m.sample(cyc(coreTime), res)
 	}
 
 	for gen.Progress() < m.cfg.Instructions {
@@ -131,6 +133,7 @@ func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+		m.sample(cyc(coreTime), res)
 	}
 	res.Cycles = cyc(coreTime)
 }
@@ -144,6 +147,7 @@ func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
 	gen := src
 	cpi := 1 / ipc
 	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
+	m.pttTab = tab
 	coreTime := 0.0
 	sgx := m.cfg.Scheme == SchemeSGXTree
 	colocated := m.cfg.Scheme == SchemeColocated
@@ -196,6 +200,7 @@ func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+		m.sample(cyc(coreTime), res)
 	}
 	res.Cycles = cyc(coreTime)
 }
@@ -209,6 +214,7 @@ func runPipeline(m *machine, src trace.Source, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	coreTime := 0.0
 	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
+	m.pttTab = tab
 
 	for gen.Progress() < m.cfg.Instructions {
 		op := gen.Next()
@@ -243,6 +249,7 @@ func runPipeline(m *machine, src trace.Source, ipc float64, res *Result) {
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+		m.sample(cyc(coreTime), res)
 	}
 	res.Cycles = cyc(coreTime)
 }
@@ -264,6 +271,7 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 		}
 	}
 	sched := ett.NewScheduler(m.topo, m.cfg.ETTSlots, policy)
+	m.ettSched = sched
 
 	var blocks []addr.Block
 	inEpoch := make(map[addr.Block]struct{}, m.cfg.EpochSize)
@@ -322,6 +330,7 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 		m.chargeStall(before, admitted)
 		res.Persists += uint64(len(blocks))
 		res.Epochs++
+		m.sample(cyc(coreTime), res)
 		blocks = blocks[:0]
 		for k := range inEpoch {
 			delete(inEpoch, k)

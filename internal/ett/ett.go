@@ -214,6 +214,19 @@ func (s *Scheduler) ScheduleEpoch(ready sim.Cycle, leaves []bmt.Label, cost Leve
 	return start, epochDone, pdone
 }
 
+// InFlightAt returns the number of ETT slots still occupied at the
+// given cycle: scheduled epochs whose last root update completes
+// beyond it. This is the telemetry sampler's occupancy probe.
+func (s *Scheduler) InFlightAt(at sim.Cycle) int {
+	n := 0
+	for _, done := range s.complete {
+		if done > at {
+			n++
+		}
+	}
+	return n
+}
+
 // UnionNodeCount returns the number of distinct BMT nodes on the
 // update paths of the given leaves — the node-update count of ideal
 // (chained) coalescing, where every shared suffix is updated once.

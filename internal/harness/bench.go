@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"plp/internal/engine"
+	"plp/internal/registry"
+	"plp/internal/sim"
+	"plp/internal/telemetry"
+	"plp/internal/trace"
+)
+
+// RecordOptions bounds one registry recording sweep.
+type RecordOptions struct {
+	Options
+	// Schemes restricts the scheme set (default: the paper's six).
+	Schemes []engine.Scheme
+	// Interval is the telemetry window width (0 = default).
+	Interval sim.Cycle
+	// NoTelemetry records headline numbers only (smaller files).
+	NoTelemetry bool
+	// Observe, when non-nil, is called just before each run starts with
+	// its key and live sampler (nil when NoTelemetry). plpserve uses it
+	// to expose in-progress series; it must be safe for concurrent
+	// calls from the fan-out workers.
+	Observe func(scheme engine.Scheme, bench string, s *telemetry.Sampler)
+}
+
+// Record runs every (benchmark, scheme) pair and returns the registry
+// runs sorted in deterministic (bench-major, scheme-minor per
+// Schemes order) fan-out order. Benchmarks fan out across CPUs; each
+// run owns a private telemetry sampler and writes its result into a
+// pre-sized slot, so the merge is race-free by construction (verified
+// with -race in the tests).
+func Record(o RecordOptions) []registry.Run {
+	r := newRunner(o.Options)
+	schemes := o.Schemes
+	if len(schemes) == 0 {
+		schemes = engine.Schemes()
+	}
+	profs := r.o.profiles()
+	runs := make([]registry.Run, len(profs)*len(schemes))
+	r.parallel(profs, func(i int, p trace.Profile) {
+		for si, s := range schemes {
+			cfg := r.cfg(s)
+			var sampler *telemetry.Sampler
+			if !o.NoTelemetry {
+				sampler = telemetry.NewSampler(o.Interval, 0, engine.ComponentLabels())
+				cfg.Telemetry = sampler
+			}
+			if o.Observe != nil {
+				o.Observe(s, p.Name, sampler)
+			}
+			res := engine.Run(cfg, p)
+			var series *telemetry.Series
+			if sampler != nil {
+				snap := sampler.Snapshot()
+				series = &snap
+			}
+			runs[i*len(schemes)+si] = registry.FromResult(res, series)
+		}
+	})
+	return runs
+}

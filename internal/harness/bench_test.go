@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"plp/internal/engine"
+	"plp/internal/telemetry"
+)
+
+// Record's parallel fan-out must produce runs in deterministic
+// bench-major, scheme-minor order with telemetry attached, regardless
+// of worker scheduling. Run with -race: the per-run samplers and the
+// pre-sized result slice are the concurrency-sensitive parts.
+func TestRecordOrderAndTelemetry(t *testing.T) {
+	benches := []string{"gamess", "gcc", "milc"}
+	schemes := []engine.Scheme{engine.SchemeSP, engine.SchemeCoalescing}
+	runs := Record(RecordOptions{
+		Options: Options{Instructions: 50_000, Benches: benches, Parallel: 3},
+		Schemes: schemes,
+	})
+	if len(runs) != len(benches)*len(schemes) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(benches)*len(schemes))
+	}
+	for i, r := range runs {
+		wantBench := benches[i/len(schemes)]
+		wantScheme := string(schemes[i%len(schemes)])
+		if r.Bench != wantBench || r.Scheme != wantScheme {
+			t.Errorf("run %d = %s/%s, want %s/%s", i, r.Scheme, r.Bench, wantScheme, wantBench)
+		}
+		if r.Telemetry == nil || len(r.Telemetry.Windows) == 0 {
+			t.Errorf("run %d (%s) has no telemetry series", i, r.Key())
+		}
+		if got := r.Telemetry.Total(func(w telemetry.Window) uint64 { return w.Persists }); got != r.Persists {
+			t.Errorf("run %d (%s): telemetry persists %d != run persists %d",
+				i, r.Key(), got, r.Persists)
+		}
+		if r.Cycles == 0 {
+			t.Errorf("run %d (%s) has zero cycles", i, r.Key())
+		}
+	}
+}
+
+// Parallel and serial recordings must be identical (determinism is
+// what makes the regression gate exact).
+func TestRecordParallelMatchesSerial(t *testing.T) {
+	o := RecordOptions{
+		Options: Options{Instructions: 50_000, Benches: []string{"gamess", "gcc"}},
+		Schemes: []engine.Scheme{engine.SchemeO3},
+	}
+	serial, parallel := o, o
+	serial.Parallel = 1
+	parallel.Parallel = 4
+	a, b := Record(serial), Record(parallel)
+	if len(a) != len(b) {
+		t.Fatalf("run counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles || a[i].Persists != b[i].Persists {
+			t.Errorf("run %d differs across parallelism: %d/%d cycles, %d/%d persists",
+				i, a[i].Cycles, b[i].Cycles, a[i].Persists, b[i].Persists)
+		}
+	}
+}
+
+func TestRecordNoTelemetry(t *testing.T) {
+	runs := Record(RecordOptions{
+		Options:     Options{Instructions: 50_000, Benches: []string{"gamess"}},
+		Schemes:     []engine.Scheme{engine.SchemeSP},
+		NoTelemetry: true,
+	})
+	if len(runs) != 1 || runs[0].Telemetry != nil {
+		t.Fatalf("NoTelemetry must drop the series: %+v", runs)
+	}
+}
+
+// The Observe hook fires once per run from the fan-out workers, and
+// reading a live sampler snapshot mid-run must be race-free.
+func TestRecordObserveHook(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	runs := Record(RecordOptions{
+		Options: Options{Instructions: 50_000, Benches: []string{"gamess", "gcc"}, Parallel: 2},
+		Schemes: []engine.Scheme{engine.SchemeSP, engine.SchemeO3},
+		Observe: func(scheme engine.Scheme, bench string, s *telemetry.Sampler) {
+			if s == nil {
+				t.Error("observe got a nil sampler with telemetry enabled")
+				return
+			}
+			go s.Snapshot() // live reader racing the run, as plpserve does
+			mu.Lock()
+			seen[string(scheme)+"/"+bench] = true
+			mu.Unlock()
+		},
+	})
+	if len(runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(runs))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 4 {
+		t.Fatalf("observe fired for %d runs, want 4: %v", len(seen), seen)
+	}
+}

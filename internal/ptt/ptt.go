@@ -102,6 +102,20 @@ func (t *Table) Persist(ready sim.Cycle, cost LevelCost) (leafStart, rootDone si
 	return start, done
 }
 
+// InFlightAt returns the number of table entries still occupied at
+// the given cycle: scheduled persists whose root update completes
+// beyond it, capped by the table capacity. This is the telemetry
+// sampler's occupancy probe.
+func (t *Table) InFlightAt(at sim.Cycle) int {
+	n := 0
+	for _, done := range t.retire {
+		if done > at {
+			n++
+		}
+	}
+	return n
+}
+
 // SequentialPersist schedules one persist under the *baseline* SP
 // mechanism (§IV-A1): the leaf-to-root update runs only after the
 // previous persist's root update completed — no pipelining. It is
@@ -118,6 +132,11 @@ func (t *Table) SequentialPersist(ready sim.Cycle, cost LevelCost) (rootDone sim
 		done = cost(lvl, done)
 		t.stageDone[lvl-1] = done
 	}
+	// Record the walk in the retire ring too, so InFlightAt reports
+	// occupancy for sequential schemes as well. Persist never shares a
+	// table with SequentialPersist, so its admission gate is unaffected.
+	t.retire[t.head] = done
+	t.head = (t.head + 1) % t.capacity
 	t.Latency.Add(uint64(done - ready))
 	return done
 }

@@ -1,0 +1,142 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Delta is one per-run cycle comparison between two registry files.
+type Delta struct {
+	Scheme, Bench        string
+	OldCycles, NewCycles uint64
+	// Ratio is NewCycles/OldCycles (1.0 = unchanged, >1 = slower).
+	Ratio float64
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%-12s %-12s %12d -> %12d  (%+.2f%%)",
+		d.Scheme, d.Bench, d.OldCycles, d.NewCycles, (d.Ratio-1)*100)
+}
+
+// Report is the outcome of comparing two registry files.
+type Report struct {
+	Threshold float64
+	// Regressions are runs whose cycles grew beyond the threshold;
+	// Improvements shrank beyond it; Unchanged stayed within it.
+	Regressions  []Delta
+	Improvements []Delta
+	Unchanged    int
+	// MissingInNew / OnlyInNew list run keys present on one side only.
+	MissingInNew []string
+	OnlyInNew    []string
+	// FingerprintMismatch notes a differing recording environment.
+	FingerprintMismatch bool
+	// ConfigMismatch notes differing instructions / full-memory mode —
+	// cycle deltas are meaningless across different run lengths, so
+	// this forces a failure independent of the threshold.
+	ConfigMismatch bool
+}
+
+// Failed reports whether the comparison should gate (non-zero exit):
+// any regression, any missing run, or incomparable configurations.
+func (r Report) Failed() bool {
+	return len(r.Regressions) > 0 || len(r.MissingInNew) > 0 || r.ConfigMismatch
+}
+
+// String renders the report for humans, deterministically ordered.
+func (r Report) String() string {
+	var b strings.Builder
+	if r.ConfigMismatch {
+		b.WriteString("CONFIG MISMATCH: run length / memory mode differ; cycles are not comparable\n")
+	}
+	if r.FingerprintMismatch {
+		b.WriteString("note: recording environments differ (go version / OS / arch)\n")
+	}
+	fmt.Fprintf(&b, "%d unchanged within %.2f%% threshold\n", r.Unchanged, r.Threshold*100)
+	if len(r.Improvements) > 0 {
+		fmt.Fprintf(&b, "%d improved:\n", len(r.Improvements))
+		for _, d := range r.Improvements {
+			b.WriteString("  " + d.String() + "\n")
+		}
+	}
+	if len(r.Regressions) > 0 {
+		fmt.Fprintf(&b, "%d REGRESSED:\n", len(r.Regressions))
+		for _, d := range r.Regressions {
+			b.WriteString("  " + d.String() + "\n")
+		}
+	}
+	for _, k := range r.MissingInNew {
+		fmt.Fprintf(&b, "MISSING in new: %s\n", k)
+	}
+	for _, k := range r.OnlyInNew {
+		fmt.Fprintf(&b, "only in new: %s\n", k)
+	}
+	return b.String()
+}
+
+// Compare matches runs by (scheme, bench) and classifies each cycle
+// delta against the noise threshold (e.g. 0.02 = 2%). Output slices
+// are sorted by run key, so the report is deterministic regardless of
+// file order.
+func Compare(old, new *File, threshold float64) Report {
+	rep := Report{
+		Threshold:           threshold,
+		FingerprintMismatch: old.Fingerprint != new.Fingerprint,
+		ConfigMismatch: old.Instructions != new.Instructions ||
+			old.FullMemory != new.FullMemory,
+	}
+	oldByKey := make(map[string]*Run, len(old.Runs))
+	for i := range old.Runs {
+		oldByKey[old.Runs[i].Key()] = &old.Runs[i]
+	}
+	newByKey := make(map[string]*Run, len(new.Runs))
+	for i := range new.Runs {
+		newByKey[new.Runs[i].Key()] = &new.Runs[i]
+	}
+
+	// Sort keys before ranging over the maps: the report must be
+	// byte-identical across invocations.
+	keys := make([]string, 0, len(oldByKey))
+	for k := range oldByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o := oldByKey[k]
+		n, ok := newByKey[k]
+		if !ok {
+			rep.MissingInNew = append(rep.MissingInNew, k)
+			continue
+		}
+		d := Delta{Scheme: o.Scheme, Bench: o.Bench,
+			OldCycles: o.Cycles, NewCycles: n.Cycles}
+		if o.Cycles == 0 {
+			if n.Cycles == 0 {
+				d.Ratio = 1
+			} else {
+				d.Ratio = 2 // was free, now costs: treat as a regression
+			}
+		} else {
+			d.Ratio = float64(n.Cycles) / float64(o.Cycles)
+		}
+		switch {
+		case d.Ratio > 1+threshold:
+			rep.Regressions = append(rep.Regressions, d)
+		case d.Ratio < 1-threshold:
+			rep.Improvements = append(rep.Improvements, d)
+		default:
+			rep.Unchanged++
+		}
+	}
+
+	newKeys := make([]string, 0, len(newByKey))
+	for k := range newByKey {
+		if _, ok := oldByKey[k]; !ok {
+			newKeys = append(newKeys, k)
+		}
+	}
+	sort.Strings(newKeys)
+	rep.OnlyInNew = newKeys
+	return rep
+}

@@ -86,6 +86,29 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
+// Summary is a serializable digest of a Histogram: the fields the
+// registry and machine-readable outputs need, without the buckets.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// Summarize digests the histogram into its serializable summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		Max:   h.max,
+	}
+}
+
 // Merge adds other's samples into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for i := range h.buckets {

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"plp/internal/sim"
+)
+
+func probe(at sim.Cycle, persists, writes uint64, wpq int) Probe {
+	return Probe{At: at, Persists: persists, NVMWrites: writes, WPQOccupancy: wpq}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSampler(0, 0, nil)
+	ser := s.Snapshot()
+	if len(ser.Windows) != 0 {
+		t.Fatalf("windows = %d, want 0 before any probe", len(ser.Windows))
+	}
+	if ser.Interval != DefaultInterval {
+		t.Fatalf("interval = %d, want default %d", ser.Interval, DefaultInterval)
+	}
+}
+
+// A run shorter than one window (including a zero-cycle run) lands
+// entirely in window 0.
+func TestIntervalWiderThanRun(t *testing.T) {
+	s := NewSampler(1<<40, 0, nil)
+	s.Record(probe(0, 0, 0, 0)) // zero-length run's closing probe
+	s.Record(probe(1234, 7, 21, 3))
+	ser := s.Snapshot()
+	if len(ser.Windows) != 1 {
+		t.Fatalf("windows = %d, want 1", len(ser.Windows))
+	}
+	w := ser.Windows[0]
+	if w.Persists != 7 || w.NVMWrites != 21 {
+		t.Fatalf("window totals = %d persists / %d writes, want 7/21", w.Persists, w.NVMWrites)
+	}
+	if w.Samples != 2 || w.WPQMin != 0 || w.WPQMax != 3 {
+		t.Fatalf("samples=%d wpq min/max=%d/%d, want 2, 0/3", w.Samples, w.WPQMin, w.WPQMax)
+	}
+}
+
+// A probe exactly on a window boundary belongs to the window it
+// starts (start-inclusive, end-exclusive intervals).
+func TestRolloverExactlyOnBoundary(t *testing.T) {
+	s := NewSampler(100, 0, nil)
+	s.Record(probe(99, 1, 1, 1))
+	s.Record(probe(100, 2, 2, 2)) // exactly on the boundary
+	ser := s.Snapshot()
+	if len(ser.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ser.Windows))
+	}
+	if ser.Windows[0].Persists != 1 {
+		t.Fatalf("window 0 persists = %d, want 1", ser.Windows[0].Persists)
+	}
+	if ser.Windows[1].Persists != 1 {
+		t.Fatalf("window 1 persists = %d, want 1 (the boundary probe's delta)", ser.Windows[1].Persists)
+	}
+	if ser.Windows[1].Start != 100 {
+		t.Fatalf("window 1 start = %d, want 100", ser.Windows[1].Start)
+	}
+}
+
+// When the run outlives the ring, windows merge pairwise and the
+// width doubles; totals are conserved.
+func TestFoldConservesTotals(t *testing.T) {
+	s := NewSampler(10, 4, []string{"a", "b"})
+	var persists uint64
+	for at := sim.Cycle(0); at < 200; at += 5 {
+		persists++
+		s.Record(Probe{At: at, Persists: persists, NVMWrites: persists * 3,
+			WPQOccupancy: int(at % 7), Stalls: []float64{float64(persists), 2}})
+	}
+	ser := s.Snapshot()
+	if len(ser.Windows) > 4 {
+		t.Fatalf("windows = %d, want <= 4 after folding", len(ser.Windows))
+	}
+	if ser.Interval <= 10 {
+		t.Fatalf("interval = %d, want doubled beyond 10", ser.Interval)
+	}
+	if got := ser.Total(func(w Window) uint64 { return w.Persists }); got != persists {
+		t.Fatalf("persists total = %d, want %d", got, persists)
+	}
+	if got := ser.Total(func(w Window) uint64 { return w.NVMWrites }); got != persists*3 {
+		t.Fatalf("NVM writes total = %d, want %d", got, persists*3)
+	}
+	// Stall deltas telescope to the final cumulative value.
+	var stallA float64
+	for _, w := range ser.Windows {
+		stallA += w.Stalls[0]
+	}
+	if stallA != float64(persists) {
+		t.Fatalf("stall[a] total = %f, want %f", stallA, float64(persists))
+	}
+	// Window starts remain contiguous multiples of the final width.
+	for i, w := range ser.Windows {
+		if w.Start != sim.Cycle(i)*ser.Interval {
+			t.Fatalf("window %d start = %d, want %d", i, w.Start, sim.Cycle(i)*ser.Interval)
+		}
+	}
+}
+
+func TestOccupancyMinMeanMax(t *testing.T) {
+	s := NewSampler(1000, 0, nil)
+	for _, occ := range []int{4, 2, 8, 6} {
+		s.Record(Probe{At: 10, WPQOccupancy: occ, PTTOccupancy: occ / 2, ETTOccupancy: 1})
+	}
+	w := s.Snapshot().Windows[0]
+	if w.WPQMin != 2 || w.WPQMax != 8 {
+		t.Fatalf("wpq min/max = %d/%d, want 2/8", w.WPQMin, w.WPQMax)
+	}
+	if w.WPQMean() != 5 {
+		t.Fatalf("wpq mean = %f, want 5", w.WPQMean())
+	}
+	if w.PTTMax != 4 || w.ETTMean() != 1 {
+		t.Fatalf("ptt max = %d, ett mean = %f, want 4, 1", w.PTTMax, w.ETTMean())
+	}
+}
+
+// Probe times are clamped monotonic: an out-of-order probe lands in
+// the previous probe's window rather than rewinding the series.
+func TestMonotonicClamp(t *testing.T) {
+	s := NewSampler(100, 0, nil)
+	s.Record(probe(250, 1, 0, 0))
+	s.Record(probe(150, 2, 0, 0)) // earlier At than the previous probe
+	ser := s.Snapshot()
+	if ser.Windows[2].Persists != 2 {
+		t.Fatalf("window 2 persists = %d, want 2 (clamped probe stays)", ser.Windows[2].Persists)
+	}
+}
+
+// Snapshot is safe while a producer is recording (the live endpoint
+// reads mid-run); run with -race.
+func TestConcurrentSnapshot(t *testing.T) {
+	s := NewSampler(100, 64, []string{"x"})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		st := []float64{0}
+		for i := 0; i < 5000; i++ {
+			st[0] = float64(i)
+			s.Record(Probe{At: sim.Cycle(i * 3), Persists: uint64(i), Stalls: st})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			ser := s.Snapshot()
+			var tot uint64
+			for _, w := range ser.Windows {
+				tot += w.Persists
+			}
+			_ = tot
+		}
+	}()
+	wg.Wait()
+	ser := s.Snapshot()
+	if got := ser.Total(func(w Window) uint64 { return w.Persists }); got != 4999 {
+		t.Fatalf("persists total = %d, want 4999", got)
+	}
+}
+
+// Snapshot returns a deep copy: mutating it must not corrupt the
+// sampler's state.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	s := NewSampler(100, 0, []string{"x"})
+	s.Record(Probe{At: 1, Persists: 5, Stalls: []float64{3}})
+	snap := s.Snapshot()
+	snap.Windows[0].Persists = 999
+	snap.Windows[0].Stalls[0] = 999
+	again := s.Snapshot()
+	if again.Windows[0].Persists != 5 || again.Windows[0].Stalls[0] != 3 {
+		t.Fatalf("sampler state corrupted by snapshot mutation: %+v", again.Windows[0])
+	}
+}

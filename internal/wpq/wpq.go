@@ -97,3 +97,24 @@ func (q *Queue) DrainTime() sim.Cycle {
 // InFlight returns the number of occupied entries (as of the last
 // Admit's ready time).
 func (q *Queue) InFlight() int { return len(q.inflight) }
+
+// InFlightAt returns the number of entries still occupied at the
+// given cycle: admitted persists whose completion lies beyond it.
+// This is the telemetry sampler's occupancy probe; it scans the
+// (capacity-bounded) heap without mutating it.
+func (q *Queue) InFlightAt(at sim.Cycle) int {
+	n := 0
+	for _, done := range q.inflight {
+		if done > at {
+			n++
+		}
+	}
+	if n > q.capacity {
+		// Epoch flushes admit a whole epoch in bulk, so the heap
+		// transiently holds more completion times than entries (in the
+		// real queue, earlier persists free entries for later ones).
+		// Physical occupancy is still bounded by the entry count.
+		n = q.capacity
+	}
+	return n
+}

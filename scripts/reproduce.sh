@@ -20,6 +20,10 @@ go test ./...
 echo "== benchmarks (scaled) =="
 go test -bench=. -benchmem -benchtime=1x .
 
+echo "== regression gate (vs committed BENCH_seed.json) =="
+go run ./cmd/plpbench record -o /tmp/plp_fresh.json -tag fresh -no-telemetry
+go run ./cmd/plpbench compare BENCH_seed.json /tmp/plp_fresh.json
+
 echo "== crash-recovery campaign =="
 go run ./cmd/plprecover -seeds 4 -writes 96
 
