@@ -95,6 +95,15 @@ func record(args []string) {
 		fatalf("%v", err)
 	}
 	fmt.Printf("recorded %d runs (%d instructions each) to %s\n", len(runs), *instr, *out)
+	var wallNS, persists uint64
+	for _, r := range runs {
+		wallNS += r.WallNS
+		persists += r.Persists
+	}
+	if wallNS > 0 {
+		fmt.Printf("simulator throughput: %.2fs total wall, %.0f persists/s aggregate\n",
+			float64(wallNS)/1e9, float64(persists)/(float64(wallNS)/1e9))
+	}
 }
 
 func compare(args []string) {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"plp/internal/engine"
 	"plp/internal/registry"
@@ -102,20 +103,29 @@ func main() {
 		return
 	}
 
+	// One arena serves both runs: the baseline warms its big buffers,
+	// the measured run reuses them.
+	ar := engine.NewArena()
+	cfg.Arena = ar
+	baseCfg := engine.Config{Scheme: engine.SchemeSecureWB,
+		Instructions: *instr, FullMemory: *full, Arena: ar}
 	var base, res engine.Result
+	var wall time.Duration
 	if *traceIn != "" {
 		tr := loadTrace(*traceIn)
-		base = runTrace(engine.Config{Scheme: engine.SchemeSecureWB,
-			Instructions: *instr, FullMemory: *full}, tr)
+		base = runTrace(baseCfg, tr)
+		start := time.Now()
 		res = runTrace(cfg, tr)
+		wall = time.Since(start)
 	} else {
-		base = engine.Run(engine.Config{Scheme: engine.SchemeSecureWB,
-			Instructions: *instr, FullMemory: *full}, prof)
+		base = engine.Run(baseCfg, prof)
+		start := time.Now()
 		res = engine.Run(cfg, prof)
+		wall = time.Since(start)
 	}
 
 	if *jsonOut {
-		writeResultJSON(os.Stdout, res, base)
+		writeResultJSON(os.Stdout, res, base, wall)
 		return
 	}
 
@@ -143,6 +153,10 @@ func main() {
 	}
 	fmt.Printf("normalized time  %.3fx of secure_WB (baseline IPC %.4f)\n",
 		float64(res.Cycles)/float64(base.Cycles), base.IPC)
+	if s := wall.Seconds(); s > 0 {
+		fmt.Printf("simulator speed  %.2fs wall (%.0f persists/s, %.1fM instr/s)\n",
+			s, float64(res.Persists)/s, float64(res.Instructions)/s/1e6)
+	}
 }
 
 // writeMetrics runs every evaluated scheme on the benchmark and prints
@@ -153,6 +167,7 @@ func main() {
 // (pinned by a golden test).
 func writeMetrics(w io.Writer, cfg engine.Config, prof trace.Profile) {
 	fmt.Fprintf(w, "benchmark %s, %d instructions\n\n", prof.Name, cfg.Instructions)
+	cfg.Arena = engine.NewArena() // shared across the scheme sweep
 	for _, s := range engine.Schemes() {
 		c := cfg
 		c.Scheme = s
@@ -190,10 +205,15 @@ func writeMetrics(w io.Writer, cfg engine.Config, prof trace.Profile) {
 // record per scheme, in Table IV order.
 func writeMetricsJSON(w io.Writer, cfg engine.Config, prof trace.Profile) {
 	runs := make([]registry.Run, 0, len(engine.Schemes()))
+	cfg.Arena = engine.NewArena()
 	for _, s := range engine.Schemes() {
 		c := cfg
 		c.Scheme = s
-		runs = append(runs, registry.FromResult(engine.Run(c, prof), nil))
+		start := time.Now()
+		res := engine.Run(c, prof)
+		rec := registry.FromResult(res, nil)
+		rec.SetTiming(time.Since(start))
+		runs = append(runs, rec)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -206,7 +226,7 @@ func writeMetricsJSON(w io.Writer, cfg engine.Config, prof trace.Profile) {
 // writeResultJSON emits one run's full machine-readable result
 // (attribution, latency digests) plus its baseline normalization, so
 // scripts stop scraping the text table.
-func writeResultJSON(w io.Writer, res, base engine.Result) {
+func writeResultJSON(w io.Writer, res, base engine.Result, wall time.Duration) {
 	out := struct {
 		Run            registry.Run `json:"run"`
 		BaselineCycles uint64       `json:"baselineCycles"`
@@ -217,6 +237,7 @@ func writeResultJSON(w io.Writer, res, base engine.Result) {
 		BaselineCycles: uint64(base.Cycles),
 		BaselineIPC:    base.IPC,
 	}
+	out.Run.SetTiming(wall)
 	if base.Cycles > 0 {
 		out.Normalized = float64(res.Cycles) / float64(base.Cycles)
 	}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"plp/internal/engine"
 	"plp/internal/registry"
@@ -94,7 +95,7 @@ func TestWriteResultJSON(t *testing.T) {
 	base := engine.Run(engine.Config{Scheme: engine.SchemeSecureWB, Instructions: 50_000}, prof)
 	res := engine.Run(engine.Config{Scheme: engine.SchemeSP, Instructions: 50_000}, prof)
 	var buf bytes.Buffer
-	writeResultJSON(&buf, res, base)
+	writeResultJSON(&buf, res, base, time.Second)
 	var out struct {
 		Run            registry.Run `json:"run"`
 		BaselineCycles uint64       `json:"baselineCycles"`

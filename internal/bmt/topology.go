@@ -11,7 +11,10 @@
 // Levels), matching the Lvl field of the paper's PTT/ETT.
 package bmt
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Label identifies a BMT node.
 type Label uint64
@@ -25,6 +28,15 @@ type Topology struct {
 	first []uint64
 	// count[l] is the number of nodes at 1-based level l+1.
 	count []uint64
+	// arityBits is log2(arity) when arity is a power of two, else 0.
+	// It enables the O(1) pairwise-LCA depth computation below.
+	arityBits int
+	// lcaDepth is the pairwise-LCA depth table for power-of-two
+	// arities: lcaDepth[b] is how many parent steps two leaves whose
+	// index XOR has bit-length b must take to meet. Precomputed once
+	// per topology so the epoch schedulers' pairing needs no Level
+	// scans or parent walks.
+	lcaDepth [65]int8
 }
 
 // NewTopology builds a complete tree with the given number of levels
@@ -46,6 +58,12 @@ func NewTopology(levels, arity int) (*Topology, error) {
 		t.count[l] = n
 		firstLabel += n
 		n *= uint64(arity)
+	}
+	if arity&(arity-1) == 0 {
+		t.arityBits = bits.Len(uint(arity)) - 1
+		for b := 1; b <= 64; b++ {
+			t.lcaDepth[b] = int8((b + t.arityBits - 1) / t.arityBits)
+		}
 	}
 	return t, nil
 }
@@ -137,20 +155,51 @@ func (t *Topology) IsRoot(l Label) bool { return l == 0 }
 
 // UpdatePath returns the labels from leaf (inclusive) to root
 // (inclusive): the "BMT update path" of Definition 1. Its length is
-// always Levels().
+// always Levels(). It allocates; hot paths should use AppendUpdatePath
+// with a reused buffer or a precomputed PathTable.
 func (t *Topology) UpdatePath(leaf Label) []Label {
+	return t.AppendUpdatePath(make([]Label, 0, t.levels), leaf)
+}
+
+// AppendUpdatePath appends leaf's update path (leaf first, root last)
+// to dst and returns the extended slice — allocation-free when dst has
+// capacity for Levels() more labels.
+func (t *Topology) AppendUpdatePath(dst []Label, leaf Label) []Label {
 	if !t.IsLeaf(leaf) {
 		panic(fmt.Sprintf("bmt: UpdatePath of non-leaf %d", leaf))
 	}
-	path := make([]Label, 0, t.levels)
 	n := leaf
 	for {
-		path = append(path, n)
+		dst = append(dst, n)
 		if n == 0 {
-			return path
+			return dst
 		}
 		n = t.Parent(n)
 	}
+}
+
+// LeafLCALevel returns the 1-based level of the least common ancestor
+// of two *leaf* labels without computing the ancestor itself — the
+// only piece of the LCA the coalescing schedulers need. For
+// power-of-two arities it is O(1) via the precomputed pairwise depth
+// table; otherwise it walks parents. Equivalent to
+// Level(LCA(a, b)) when both labels are leaves.
+func (t *Topology) LeafLCALevel(a, b Label) int {
+	if a == b {
+		return t.levels
+	}
+	if t.arityBits > 0 {
+		fl := t.first[t.levels-1]
+		x := (uint64(a) - fl) ^ (uint64(b) - fl)
+		return t.levels - int(t.lcaDepth[bits.Len64(x)])
+	}
+	lvl := t.levels
+	for a != b {
+		a = t.Parent(a)
+		b = t.Parent(b)
+		lvl--
+	}
+	return lvl
 }
 
 // AncestorAtLevel returns l's ancestor at the given 1-based level,
@@ -191,4 +240,43 @@ func (t *Topology) LCA(a, b Label) Label {
 // discussed in §IV-B1.
 func (t *Topology) PathsIntersectBelow(a, b Label) bool {
 	return t.LCA(a, b) != 0
+}
+
+// PathTable precomputes the update paths of the first n leaves (leaf
+// indices 0..n-1) as one flat label array: Path(i) is a view into it,
+// so looking up a persist's full leaf-to-root path costs an index
+// computation instead of Levels() parent divisions and an allocation.
+// The timing engine builds one per run, sized to the leaves its
+// (aliased) address space can actually touch — far smaller than the
+// whole tree.
+type PathTable struct {
+	topo   *Topology
+	levels int
+	n      uint64
+	flat   []Label // n * levels labels, leaf first within each path
+}
+
+// NewPathTable precomputes paths for leaf indices [0, n). n must not
+// exceed the topology's leaf count.
+func NewPathTable(t *Topology, n uint64) *PathTable {
+	if n > t.Leaves() {
+		panic(fmt.Sprintf("bmt: path table over %d leaves, tree has %d", n, t.Leaves()))
+	}
+	pt := &PathTable{topo: t, levels: t.levels, n: n,
+		flat: make([]Label, 0, n*uint64(t.levels))}
+	for i := uint64(0); i < n; i++ {
+		pt.flat = t.AppendUpdatePath(pt.flat, t.LeafLabel(i))
+	}
+	return pt
+}
+
+// Len returns the number of precomputed leaf paths.
+func (pt *PathTable) Len() uint64 { return pt.n }
+
+// Path returns leaf index i's update path, leaf first and root last
+// (length Levels()). The returned slice aliases the table: callers
+// must treat it as read-only.
+func (pt *PathTable) Path(i uint64) []Label {
+	off := i * uint64(pt.levels)
+	return pt.flat[off : off+uint64(pt.levels) : off+uint64(pt.levels)]
 }

@@ -129,6 +129,15 @@ type Config struct {
 	// nothing.
 	Trace sim.TraceFn
 
+	// Arena, when non-nil, supplies the run's large reusable hot-path
+	// buffers (write-merge table, epoch membership set, precomputed
+	// BMT path table, trace batch buffer). Sweeps executing many runs
+	// hand each worker one arena so the ~100MB of metadata allocates
+	// once instead of once per run; results are bit-identical either
+	// way. An arena must not be shared by concurrent runs. Nil
+	// allocates private buffers.
+	Arena *Arena
+
 	// Telemetry, when non-nil, receives a cumulative probe at every
 	// persist/epoch boundary plus one final probe at run end, building
 	// the windowed time series (WPQ/PTT/ETT occupancy, NVM traffic,
@@ -276,10 +285,41 @@ type machine struct {
 	// alias, which is harmless for timing).
 	aliasBlocks uint64
 
+	// ar owns the run's big reusable buffers (Config.Arena or a
+	// private one).
+	ar *Arena
+
 	// lastWrite implements write merging in the memory controller's
 	// write queue: a line rewritten while its previous write is still
-	// queued coalesces instead of consuming write bandwidth.
-	lastWrite map[uint64]sim.Cycle
+	// queued coalesces instead of consuming write bandwidth. It is a
+	// flat per-line table (index = layout line, value = drain time + 1,
+	// 0 = never written): the hot path's most frequent lookup, which as
+	// a map both allocated steadily and grew without bound.
+	lastWrite []sim.Cycle
+
+	// paths precomputes the leaf-to-root update path of every BMT leaf
+	// the synthetic address map can touch; pathOf falls back to
+	// pathScratch for leaf indices beyond it (wider recorded traces).
+	paths       *bmt.PathTable
+	pathScratch []bmt.Label
+
+	// curPath/levelNode/seqCost decompose the old per-persist LevelCost
+	// closure into per-run state: seqCost is built once, reads the
+	// current persist's path from curPath, and applies the scheme's
+	// per-node update levelNode. This keeps the PTT walks closure- and
+	// allocation-free per persist.
+	curPath   []bmt.Label
+	levelNode func(bmt.Label, sim.Cycle) sim.Cycle
+	seqCost   ptt.LevelCost
+
+	// Epoch membership (runEpoch): a generation-stamp set over trace
+	// blocks replaces the old per-epoch map — epochGen[b] == epochCur
+	// means b is already in the current epoch, and bumping epochCur
+	// empties the set without touching memory. epochOver catches
+	// blocks beyond the stamp array (recorded traces only).
+	epochGen  []uint32
+	epochCur  uint32
+	epochOver map[addr.Block]struct{}
 
 	// Cycle attribution: att accumulates per-component core cycles;
 	// segs labels the current persist's critical path (see attrib.go).
@@ -301,11 +341,14 @@ const kb = 1024
 
 func newMachine(cfg Config) *machine {
 	m := &machine{
-		cfg:       cfg,
-		topo:      bmt.MustNewTopology(cfg.BMTLevels, 8),
-		mem:       nvm.New(cfg.NVM),
-		q:         wpq.New(cfg.WPQEntries),
-		lastWrite: make(map[uint64]sim.Cycle),
+		cfg:  cfg,
+		topo: bmt.MustNewTopology(cfg.BMTLevels, 8),
+		mem:  nvm.New(cfg.NVM),
+		q:    wpq.New(cfg.WPQEntries),
+	}
+	m.ar = cfg.Arena
+	if m.ar == nil {
+		m.ar = NewArena()
 	}
 	m.macPipe = sim.Resource{Latency: cfg.MACLatency, Initiation: 1}
 	m.macVerify = sim.Resource{Latency: cfg.MACLatency, Initiation: 1}
@@ -324,10 +367,73 @@ func newMachine(cfg Config) *machine {
 		m.aliasBlocks = covered
 	}
 	m.lay = layout.MustNew(m.aliasBlocks, m.topo)
+	m.lastWrite = m.ar.cycles(m.lay.TotalBlocks())
+	// One BMT leaf per encryption page: precompute the paths of every
+	// leaf index the synthetic address map can reach (min of the page
+	// count and, for shallow ablation trees, the whole leaf set).
+	nPaths := (uint64(trace.TotalBlocks) + addr.BlocksPerPage - 1) / addr.BlocksPerPage
+	if leaves := m.topo.Leaves(); leaves < nPaths {
+		nPaths = leaves
+	}
+	m.paths = m.ar.pathTable(m.topo, nPaths)
+	m.pathScratch = make([]bmt.Label, 0, cfg.BMTLevels)
+	m.levelNode = m.nodeUpdate
+	m.seqCost = func(lvl int, start sim.Cycle) sim.Cycle {
+		m.mark(CompSched, start)
+		return m.levelNode(m.curPath[m.cfg.BMTLevels-lvl], start)
+	}
 	if cfg.Telemetry != nil {
 		m.probeStalls = make([]float64, NumComponents)
 	}
 	return m
+}
+
+// pathOf returns blk's leaf-to-root update path (length BMTLevels,
+// leaf first). Lookups hit the precomputed table; leaf indices beyond
+// it fall back to a scratch buffer that stays valid only until the
+// next pathOf call (the epoch scheduler, which holds several paths at
+// once, keeps its own spill buffer instead).
+func (m *machine) pathOf(b addr.Block) []bmt.Label {
+	idx := uint64(addr.PageOfBlock(b)) % m.topo.Leaves()
+	if idx < m.paths.Len() {
+		return m.paths.Path(idx)
+	}
+	m.pathScratch = m.topo.AppendUpdatePath(m.pathScratch[:0], m.topo.LeafLabel(idx))
+	return m.pathScratch
+}
+
+// epochSeen reports whether b is already a member of the current
+// epoch, stamping it in if not.
+func (m *machine) epochSeen(b addr.Block) bool {
+	if i := uint64(b); i < uint64(len(m.epochGen)) {
+		if m.epochGen[i] == m.epochCur {
+			return true
+		}
+		m.epochGen[i] = m.epochCur
+		return false
+	}
+	if m.epochOver == nil {
+		m.epochOver = make(map[addr.Block]struct{})
+	}
+	if _, dup := m.epochOver[b]; dup {
+		return true
+	}
+	m.epochOver[b] = struct{}{}
+	return false
+}
+
+// epochReset empties the epoch membership set by advancing the
+// generation (constant time; the stamp array is untouched). Stamp 0 is
+// reserved for "never stamped", so a counter wrap clears and restarts.
+func (m *machine) epochReset() {
+	m.epochCur++
+	if m.epochCur == 0 {
+		clear(m.epochGen)
+		m.epochCur = 1
+	}
+	if len(m.epochOver) > 0 {
+		clear(m.epochOver)
+	}
 }
 
 // sample feeds the telemetry sampler one cumulative probe at the
@@ -438,11 +544,17 @@ func (m *machine) traceEvent(kind string, at sim.Cycle, arg, arg2 uint64) {
 // to the same line is still resident in the write queue (write
 // merging). It returns the line's drain time.
 func (m *machine) mergedWrite(line uint64, at sim.Cycle) sim.Cycle {
-	if last, ok := m.lastWrite[line]; ok && at < last+mergeWindow {
-		return last // coalesced with the queued write
+	last := m.lastWrite[line]
+	if last != 0 && at < last-1+mergeWindow {
+		return last - 1 // coalesced with the queued write
 	}
 	done := m.mem.Write(line, at)
-	m.lastWrite[line] = done
+	if last == 0 {
+		// First touch this run: record it so the arena can zero just
+		// this entry on reuse instead of sweeping the whole table.
+		m.ar.dirty = append(m.ar.dirty, line)
+	}
+	m.lastWrite[line] = done + 1
 	return done
 }
 
@@ -469,9 +581,9 @@ func (m *machine) persistWrites(b addr.Block, at sim.Cycle) sim.Cycle {
 
 // warm streams instructions through the data hierarchy and counter
 // cache without timing, populating them before the measured region.
-func (m *machine) warm(src trace.Source, instrs uint64) {
-	for src.Progress() < instrs {
-		op := src.Next()
+func (m *machine) warm(st *opStream, instrs uint64) {
+	for st.progress() < instrs {
+		op := st.next()
 		m.data.Access(cache.Line(op.Block), op.Kind == trace.OpStore)
 		if !m.cfg.IdealMDC {
 			m.ctrCache.Access(cache.Line(addr.PageOfBlock(op.Block)), false)
@@ -522,7 +634,7 @@ func (m *machine) verifyRead(b addr.Block, at sim.Cycle) {
 	// Data MAC check on the verification unit.
 	m.macVerify.Acquire(at)
 	// Tree walk up to the first cached (already verified) node.
-	for _, label := range m.topo.UpdatePath(m.leafOf(b)) {
+	for _, label := range m.pathOf(b) {
 		if m.bmtCache.Contains(bmtLine(label)) {
 			break
 		}
@@ -549,22 +661,23 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 	res.Scheme = cfg.Scheme
 	res.Bench = bench
 
+	st := newOpStream(src, cfg.Instructions+cfg.Warmup, m.ar.opBuf(opBatch))
 	if cfg.Warmup > 0 {
-		m.warm(src, cfg.Warmup)
+		m.warm(st, cfg.Warmup)
 		m.cfg.Instructions += cfg.Warmup
 	}
 
 	switch cfg.Scheme {
 	case SchemeSecureWB:
-		runSecureWB(m, src, ipc, &res)
+		runSecureWB(m, st, ipc, &res)
 	case SchemeUnordered:
-		runUnordered(m, src, ipc, &res)
+		runUnordered(m, st, ipc, &res)
 	case SchemeSP, SchemeSGXTree, SchemeColocated:
-		runSP(m, src, ipc, &res)
+		runSP(m, st, ipc, &res)
 	case SchemePipeline:
-		runPipeline(m, src, ipc, &res)
+		runPipeline(m, st, ipc, &res)
 	case SchemeO3, SchemeCoalescing:
-		runEpoch(m, src, ipc, &res)
+		runEpoch(m, st, ipc, &res)
 	default:
 		panic(fmt.Sprintf("engine: unknown scheme %q", cfg.Scheme))
 	}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"plp/internal/trace"
+)
+
+// The golden values below were captured from the engine BEFORE the
+// zero-allocation hot-path rework (flat write-merge table, precomputed
+// BMT path table, generation-stamp epoch sets, batched trace pulls,
+// reusable arenas). The rework is purely mechanical with respect to
+// the timing model, so every simulated number must be bit-identical:
+// any drift here means an "optimization" changed the model.
+
+type goldenRun struct {
+	scheme Scheme
+	bench  string
+
+	cycles, persists, bmtUpdates, nvmWrites, epochs uint64
+}
+
+var goldenDefaults = []goldenRun{
+	// 200_000 instructions, default config, all eight schemes.
+	{"secure_WB", "gamess", 81633, 0, 0, 0, 0},
+	{"unordered", "gamess", 119557, 10214, 91926, 9098, 0},
+	{"sp", "gamess", 3758285, 10214, 91926, 25986, 0},
+	{"pipeline", "gamess", 412781, 10214, 91926, 15393, 0},
+	{"o3", "gamess", 114054, 7147, 64323, 8734, 320},
+	{"coalescing", "gamess", 114003, 7147, 38870, 8730, 320},
+	{"sgxtree", "gamess", 60752360, 10214, 91926, 122568, 0},
+	{"colocated", "gamess", 3757125, 10214, 91926, 8962, 0},
+	{"secure_WB", "milc", 250005, 0, 0, 0, 0},
+	{"unordered", "milc", 250005, 2668, 24012, 2260, 0},
+	{"sp", "milc", 1224282, 2668, 24012, 4735, 0},
+	{"pipeline", "milc", 282138, 2668, 24012, 2438, 0},
+	{"o3", "milc", 254357, 1088, 9792, 2057, 84},
+	{"coalescing", "milc", 254357, 1088, 5582, 2057, 84},
+	{"sgxtree", "milc", 16111722, 2668, 24012, 32016, 0},
+	{"colocated", "milc", 1212972, 2668, 24012, 1983, 0},
+}
+
+func checkGolden(t *testing.T, res Result, want goldenRun) {
+	t.Helper()
+	got := goldenRun{res.Scheme, res.Bench, uint64(res.Cycles), res.Persists,
+		res.BMTNodeUpdates, res.NVMWrites, res.Epochs}
+	if got != want {
+		t.Errorf("%s/%s: got {cycles %d, persists %d, bmt %d, nvmW %d, epochs %d},"+
+			" want {cycles %d, persists %d, bmt %d, nvmW %d, epochs %d}",
+			want.scheme, want.bench,
+			got.cycles, got.persists, got.bmtUpdates, got.nvmWrites, got.epochs,
+			want.cycles, want.persists, want.bmtUpdates, want.nvmWrites, want.epochs)
+	}
+}
+
+// TestGoldenCycles pins the simulated outcome of every scheme on two
+// profiles against pre-rework captures.
+func TestGoldenCycles(t *testing.T) {
+	ar := NewArena() // shared arena must not perturb results either
+	for _, want := range goldenDefaults {
+		p, ok := trace.ProfileByName(want.bench)
+		if !ok {
+			t.Fatalf("unknown profile %s", want.bench)
+		}
+		res := Run(Config{Scheme: want.scheme, Instructions: 200_000, Arena: ar}, p)
+		checkGolden(t, res, want)
+	}
+}
+
+// TestGoldenVariants pins config corners: full-memory small epochs,
+// warmup, chained coalescing, read verification, and a shallow tree.
+func TestGoldenVariants(t *testing.T) {
+	p, _ := trace.ProfileByName("gcc")
+	variants := []struct {
+		cfg  Config
+		want goldenRun
+	}{
+		{Config{Scheme: SchemeCoalescing, Instructions: 150_000, FullMemory: true, EpochSize: 16},
+			goldenRun{SchemeCoalescing, "gcc", 401610, 17558, 110591, 24043, 1194}},
+		{Config{Scheme: SchemeO3, Instructions: 150_000, Warmup: 50_000},
+			goldenRun{SchemeO3, "gcc", 259057, 6576, 59184, 11814, 317}},
+		{Config{Scheme: SchemeCoalescing, Instructions: 150_000, ChainedCoalescing: true},
+			goldenRun{SchemeCoalescing, "gcc", 259724, 6714, 8726, 12033, 320}},
+		{Config{Scheme: SchemeSP, Instructions: 150_000, ReadVerification: true},
+			goldenRun{SchemeSP, "gcc", 19531648, 10212, 91908, 25386, 0}},
+		{Config{Scheme: SchemePipeline, Instructions: 150_000, BMTLevels: 5},
+			goldenRun{SchemePipeline, "gcc", 455534, 10212, 51060, 14716, 0}},
+	}
+	ar := NewArena()
+	for _, v := range variants {
+		cfg := v.cfg
+		cfg.Arena = ar
+		checkGolden(t, Run(cfg, p), v.want)
+	}
+}

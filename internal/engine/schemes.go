@@ -24,28 +24,21 @@ func maxf(a float64, b sim.Cycle) float64 {
 	return a
 }
 
-// pathCost returns a ptt.LevelCost walking blk's update path with the
-// given per-node update function. The start cycle the table passes in
-// already includes its serialization gates, so the gap up to it is
-// marked as scheduling wait for cycle attribution.
-func (m *machine) pathCost(blk addr.Block, node func(bmt.Label, sim.Cycle) sim.Cycle) ptt.LevelCost {
-	path := m.topo.UpdatePath(m.leafOf(blk)) // leaf (level L) first
-	levels := m.topo.Levels()
-	return func(lvl int, start sim.Cycle) sim.Cycle {
-		m.mark(CompSched, start)
-		return node(path[levels-lvl], start)
-	}
-}
+// The sequential schemes drive the PTT with the machine's per-run
+// seqCost (see newMachine): each persist sets m.curPath to its update
+// path and the per-level callback applies m.levelNode — the old
+// per-persist closure pair, flattened so the steady-state loop does
+// not allocate.
 
 // runSecureWB models the baseline: write-back caches, no persistency.
 // LLC dirty evictions are the only persists; each performs a
 // sequential leaf-to-root BMT update in the integrity engine.
-func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
-	gen := src
+func runSecureWB(m *machine, st *opStream, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	coreTime := 0.0
 	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
 	m.pttTab = tab
+	m.levelNode = m.nodeUpdate
 
 	m.data.OnMemWriteback = func(line cache.Line) {
 		blk := addr.Block(line)
@@ -58,7 +51,8 @@ func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
 		coreTime = maxf(coreTime, grant)
 		m.chargeStall(before, grant)
 		start := m.metaFetch(blk, grant)
-		done := tab.SequentialPersist(start, m.pathCost(blk, m.nodeUpdate))
+		m.curPath = m.pathOf(blk)
+		done := tab.SequentialPersist(start, m.seqCost)
 		m.persistWrites(blk, done)
 		m.q.Occupy(done)
 		m.traceEvent("persist", done, uint64(blk), uint64(done-grant))
@@ -69,8 +63,8 @@ func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
 		m.sample(cyc(coreTime), res)
 	}
 
-	for gen.Progress() < m.cfg.Instructions {
-		op := gen.Next()
+	for st.progress() < m.cfg.Instructions {
+		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
@@ -92,8 +86,7 @@ func runSecureWB(m *machine, src trace.Source, ipc float64, res *Result) {
 // full overlap through the pipelined MAC units, and root updates are
 // not ordered, so persists never wait on one another — only on WPQ
 // space. Crash recovery is NOT guaranteed (Table II).
-func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
-	gen := src
+func runUnordered(m *machine, st *opStream, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	coreTime := 0.0
 	// The pipelined MAC units sustain one node update per cycle, i.e.
@@ -101,8 +94,8 @@ func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
 	// that issue bandwidth is the only coupling between persists.
 	issue := sim.Resource{Initiation: sim.Cycle(m.cfg.BMTLevels)}
 
-	for gen.Progress() < m.cfg.Instructions {
-		op := gen.Next()
+	for st.progress() < m.cfg.Instructions {
+		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
@@ -124,7 +117,7 @@ func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
 		m.chargeStall(before, grant)
 		start, _ := issue.Acquire(grant)
 		done := m.metaFetch(op.Block, start)
-		for _, label := range m.topo.UpdatePath(m.leafOf(op.Block)) {
+		for _, label := range m.pathOf(op.Block) {
 			done = m.nodeUpdate(label, done)
 		}
 		m.persistWrites(op.Block, done)
@@ -143,17 +136,27 @@ func runUnordered(m *machine, src trace.Source, ipc float64, res *Result) {
 // BMT update — must persist before the next store may proceed, so the
 // core stalls for the full update (§IV-A1). SchemeSGXTree additionally
 // persists every node on the path (§IV-D).
-func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
-	gen := src
+func runSP(m *machine, st *opStream, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
 	m.pttTab = tab
 	coreTime := 0.0
 	sgx := m.cfg.Scheme == SchemeSGXTree
 	colocated := m.cfg.Scheme == SchemeColocated
+	m.levelNode = m.nodeUpdate
+	if sgx {
+		m.levelNode = func(label bmt.Label, s sim.Cycle) sim.Cycle {
+			d := m.nodeUpdate(label, s)
+			// The counter-tree node itself must persist: its NVM
+			// write is on the persist's critical path.
+			d = m.mem.Write(m.lay.BMTLine(label), d)
+			m.mark(CompNVMWrite, d)
+			return d
+		}
+	}
 
-	for gen.Progress() < m.cfg.Instructions {
-		op := gen.Next()
+	for st.progress() < m.cfg.Instructions {
+		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
@@ -174,18 +177,8 @@ func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
 		if !colocated {
 			start = m.metaFetch(op.Block, grant)
 		}
-		node := m.nodeUpdate
-		if sgx {
-			node = func(label bmt.Label, s sim.Cycle) sim.Cycle {
-				d := m.nodeUpdate(label, s)
-				// The counter-tree node itself must persist: its NVM
-				// write is on the persist's critical path.
-				d = m.mem.Write(m.lay.BMTLine(label), d)
-				m.mark(CompNVMWrite, d)
-				return d
-			}
-		}
-		done := tab.SequentialPersist(start, m.pathCost(op.Block, node))
+		m.curPath = m.pathOf(op.Block)
+		done := tab.SequentialPersist(start, m.seqCost)
 		if colocated {
 			// One co-located line carries data+counter+MAC.
 			m.mergedWrite(m.lay.DataLine(m.aliasBlock(op.Block)), done)
@@ -209,15 +202,15 @@ func runSP(m *machine, src trace.Source, ipc float64, res *Result) {
 // PTT's in-order pipelined BMT updates. The core no longer waits for
 // each root update; it stalls only when the WPQ fills (sustained
 // throughput: one persist per MAC latency).
-func runPipeline(m *machine, src trace.Source, ipc float64, res *Result) {
-	gen := src
+func runPipeline(m *machine, st *opStream, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	coreTime := 0.0
 	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
 	m.pttTab = tab
+	m.levelNode = m.nodeUpdate
 
-	for gen.Progress() < m.cfg.Instructions {
-		op := gen.Next()
+	for st.progress() < m.cfg.Instructions {
+		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
@@ -235,7 +228,8 @@ func runPipeline(m *machine, src trace.Source, ipc float64, res *Result) {
 		grant := m.q.Admit(cyc(coreTime))
 		m.mark(CompWPQ, grant)
 		start := m.metaFetch(op.Block, grant)
-		leafStart, done := tab.Persist(start, m.pathCost(op.Block, m.nodeUpdate))
+		m.curPath = m.pathOf(op.Block)
+		leafStart, done := tab.Persist(start, m.seqCost)
 		m.persistWrites(op.Block, done)
 		m.q.Occupy(done)
 		// Under strict persistency the store holds the front of the
@@ -259,8 +253,7 @@ func runPipeline(m *machine, src trace.Source, ipc float64, res *Result) {
 // boundary the epoch's distinct dirty blocks persist with out-of-order
 // intra-epoch updates (and optional paired LCA coalescing), pipelined
 // across epochs by the ETT.
-func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
-	gen := src
+func runEpoch(m *machine, st *opStream, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	coreTime := 0.0
 	policy := ett.PolicyNone
@@ -273,9 +266,28 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 	sched := ett.NewScheduler(m.topo, m.cfg.ETTSlots, policy)
 	m.ettSched = sched
 
-	var blocks []addr.Block
-	inEpoch := make(map[addr.Block]struct{}, m.cfg.EpochSize)
+	m.epochGen, m.epochCur = m.ar.gens(uint64(trace.TotalBlocks))
+	m.epochReset() // fresh generation for the first epoch
+
+	// Per-epoch working buffers, reused across epochs. paths holds one
+	// update-path view per persist; views into the shared PathTable are
+	// stable, while out-of-table leaves (recorded traces) spill into
+	// pathSpill, pre-grown per flush so appends never move live views.
+	levels := m.cfg.BMTLevels
+	var (
+		blocks    []addr.Block
+		leaves    []bmt.Label
+		leafReady []sim.Cycle
+		paths     [][]bmt.Label
+		pathSpill []bmt.Label
+	)
 	storesInEpoch := 0
+	cost := func(pi, lvl int, start sim.Cycle) sim.Cycle {
+		if lvl == levels && leafReady[pi] > start {
+			start = leafReady[pi] // counter block must be on chip
+		}
+		return m.nodeUpdatePiped(paths[pi][levels-lvl], start)
+	}
 
 	flush := func() {
 		if len(blocks) == 0 {
@@ -294,18 +306,26 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 				grant = g
 			}
 		}
-		leaves := make([]bmt.Label, len(blocks))
-		leafReady := make([]sim.Cycle, len(blocks))
-		for i, blk := range blocks {
-			leaves[i] = m.leafOf(blk)
-			leafReady[i] = m.metaFetch(blk, grant)
+		leaves = leaves[:0]
+		leafReady = leafReady[:0]
+		paths = paths[:0]
+		pathSpill = pathSpill[:0]
+		if need := len(blocks) * levels; cap(pathSpill) < need {
+			pathSpill = make([]bmt.Label, 0, need)
 		}
-		levels := m.cfg.BMTLevels
-		cost := func(pi, lvl int, start sim.Cycle) sim.Cycle {
-			if lvl == levels && leafReady[pi] > start {
-				start = leafReady[pi] // counter block must be on chip
+		for _, blk := range blocks {
+			idx := uint64(addr.PageOfBlock(blk)) % m.topo.Leaves()
+			var p []bmt.Label
+			if idx < m.paths.Len() {
+				p = m.paths.Path(idx)
+			} else {
+				off := len(pathSpill)
+				pathSpill = m.topo.AppendUpdatePath(pathSpill, m.topo.LeafLabel(idx))
+				p = pathSpill[off:]
 			}
-			return m.nodeUpdatePiped(m.topo.AncestorAtLevel(leaves[pi], lvl), start)
+			paths = append(paths, p)
+			leaves = append(leaves, p[0])
+			leafReady = append(leafReady, m.metaFetch(blk, grant))
 		}
 		admitted, done, perDone := sched.ScheduleEpoch(grant, leaves, cost)
 		if res.Epochs < uint64(m.cfg.DebugEpochs) {
@@ -332,14 +352,12 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 		res.Epochs++
 		m.sample(cyc(coreTime), res)
 		blocks = blocks[:0]
-		for k := range inEpoch {
-			delete(inEpoch, k)
-		}
+		m.epochReset()
 		storesInEpoch = 0
 	}
 
-	for gen.Progress() < m.cfg.Instructions {
-		op := gen.Next()
+	for st.progress() < m.cfg.Instructions {
+		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
 		if op.Kind == trace.OpLoad {
@@ -354,8 +372,7 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 			continue
 		}
 		storesInEpoch++
-		if _, dup := inEpoch[op.Block]; !dup {
-			inEpoch[op.Block] = struct{}{}
+		if !m.epochSeen(op.Block) {
 			blocks = append(blocks, op.Block)
 		}
 		if storesInEpoch >= m.cfg.EpochSize {
@@ -363,6 +380,7 @@ func runEpoch(m *machine, src trace.Source, ipc float64, res *Result) {
 		}
 	}
 	flush()
+	m.ar.epochCur = m.epochCur
 	res.Cycles = cyc(coreTime)
 	res.Epochs = sched.Epochs
 	res.BMTNodeUpdates = sched.NodeUpdates

@@ -1,0 +1,61 @@
+package engine
+
+import "plp/internal/trace"
+
+// opBatch is the number of ops pulled from a BatchSource at a time.
+const opBatch = 1024
+
+// opStream feeds the scheme runners their operation stream. Sources
+// that implement trace.BatchSource (the synthetic generator) are
+// drained through a reused buffer, amortizing the per-op interface
+// dispatch that otherwise dominates the generator's share of the run;
+// other sources (phased, recorded) fall back to per-op Next calls.
+//
+// Batching is invisible to the timing model: progress() counts the
+// instructions of the ops actually handed out (each op spans Gap+1),
+// so runners bound by it consume exactly the op sequence they would
+// have pulled one call at a time.
+type opStream struct {
+	src      trace.Source
+	batch    trace.BatchSource // nil: per-op fallback
+	buf      []trace.Op
+	pos, n   int
+	limit    uint64 // total instructions the run will consume (incl. warmup)
+	consumed uint64 // batch mode: instructions represented by ops handed out
+}
+
+func newOpStream(src trace.Source, limit uint64, buf []trace.Op) *opStream {
+	s := &opStream{src: src, limit: limit}
+	if b, ok := src.(trace.BatchSource); ok && len(buf) > 0 {
+		s.batch, s.buf, s.consumed = b, buf, src.Progress()
+	}
+	return s
+}
+
+// progress returns the instructions represented by the ops handed out
+// so far — the batched equivalent of trace.Source.Progress.
+func (s *opStream) progress() uint64 {
+	if s.batch != nil {
+		return s.consumed
+	}
+	return s.src.Progress()
+}
+
+func (s *opStream) next() trace.Op {
+	if s.batch == nil {
+		return s.src.Next()
+	}
+	if s.pos >= s.n {
+		s.n = s.batch.Fill(s.buf, s.limit)
+		s.pos = 0
+		if s.n == 0 {
+			// The source hit the run limit; a caller pulling past it
+			// gets ops directly, matching unbatched behaviour.
+			return s.src.Next()
+		}
+	}
+	op := s.buf[s.pos]
+	s.pos++
+	s.consumed += uint64(op.Gap) + 1
+	return op
+}

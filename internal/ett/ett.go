@@ -62,6 +62,13 @@ type Scheduler struct {
 	complete []sim.Cycle
 	head     int
 
+	// Reusable per-epoch scratch (the scheduler runs every EpochSize
+	// stores; recycling these is what keeps the steady-state loop at
+	// zero heap allocations per store).
+	plans   []persistPlan
+	pdone   []sim.Cycle
+	newGate []sim.Cycle
+
 	// Stats.
 	Epochs        uint64
 	Persists      uint64
@@ -85,6 +92,7 @@ func NewScheduler(topo *bmt.Topology, slots int, policy Policy) *Scheduler {
 		policy:    policy,
 		levelGate: make([]sim.Cycle, topo.Levels()),
 		complete:  make([]sim.Cycle, slots),
+		newGate:   make([]sim.Cycle, topo.Levels()),
 	}
 }
 
@@ -97,20 +105,31 @@ func (s *Scheduler) CoalescingReduction() float64 {
 	return 1 - float64(s.NodeUpdates)/float64(s.UpdatesNoCoal)
 }
 
-// persistPlan is one persist's scheduled walk.
+// persistPlan is one persist's scheduled walk. Plans live in the
+// scheduler's reusable scratch slice (values, not pointers), so an
+// epoch's planning allocates nothing in steady state.
 type persistPlan struct {
 	leaf bmt.Label
 	// stopLevel is the highest level (smallest number) this persist
 	// updates itself; 1 means it walks to the root, k>1 means it stops
 	// below the LCA and delegates.
 	stopLevel int
-	// waitFor, if non-nil, is the pair leader whose sub-LCA completion
-	// the trailing persist's LCA update must wait for.
-	waitFor *persistPlan
+	// waitFor, if >= 0, indexes the pair leader whose sub-LCA
+	// completion the trailing persist's LCA update must wait for.
+	waitFor int
 	// lcaLevel is the level of the pair's LCA (only for trailing).
 	lcaLevel int
 	// doneBelow is the leader's completion of its truncated walk.
 	doneBelow sim.Cycle
+}
+
+// scratch returns the reusable plan/done slices sized for n persists.
+func (s *Scheduler) scratch(n int) ([]persistPlan, []sim.Cycle) {
+	if cap(s.plans) < n {
+		s.plans = make([]persistPlan, n)
+		s.pdone = make([]sim.Cycle, n)
+	}
+	return s.plans[:n], s.pdone[:n]
 }
 
 // ScheduleEpoch schedules all persists of one epoch (their BMT leaf
@@ -122,6 +141,8 @@ type persistPlan struct {
 // PerPersist receives each persist's own completion time (the cycle
 // its WPQ entry unlocks); for a coalesced pair the leader completes
 // with its trailing partner (the pair's root update covers both).
+// The returned slice aliases scheduler-owned scratch: it is valid
+// until the next ScheduleEpoch call and must not be retained.
 func (s *Scheduler) ScheduleEpoch(ready sim.Cycle, leaves []bmt.Label, cost LevelCost) (admitted, done sim.Cycle, perPersist []sim.Cycle) {
 	s.Epochs++
 	levels := s.topo.Levels()
@@ -141,18 +162,16 @@ func (s *Scheduler) ScheduleEpoch(ready sim.Cycle, leaves []bmt.Label, cost Leve
 	}
 
 	// Build plans, pairing for coalescing.
-	plans := make([]*persistPlan, len(leaves))
+	plans, pdone := s.scratch(len(leaves))
 	for i, leaf := range leaves {
-		plans[i] = &persistPlan{leaf: leaf, stopLevel: 1}
+		plans[i] = persistPlan{leaf: leaf, stopLevel: 1, waitFor: -1}
 	}
 	if s.policy == PolicyPaired {
 		for i := 0; i+1 < len(plans); i += 2 {
-			lead, trail := plans[i], plans[i+1]
-			lca := s.topo.LCA(lead.leaf, trail.leaf)
-			lcaLvl := s.topo.Level(lca)
-			lead.stopLevel = lcaLvl + 1 // stops below the LCA
-			trail.waitFor = lead
-			trail.lcaLevel = lcaLvl
+			lcaLvl := s.topo.LeafLCALevel(plans[i].leaf, plans[i+1].leaf)
+			plans[i].stopLevel = lcaLvl + 1 // leader stops below the LCA
+			plans[i+1].waitFor = i
+			plans[i+1].lcaLevel = lcaLvl
 		}
 	}
 
@@ -161,16 +180,16 @@ func (s *Scheduler) ScheduleEpoch(ready sim.Cycle, leaves []bmt.Label, cost Leve
 	// updates, and so on. Within the epoch, persists are independent
 	// except for pair delegation; cross-epoch ordering comes from
 	// levelGate. newGate accumulates this epoch's per-level frontier.
-	newGate := make([]sim.Cycle, levels)
+	newGate := s.newGate
 	copy(newGate, s.levelGate)
-	pdone := make([]sim.Cycle, len(plans))
 	for pi := range plans {
 		pdone[pi] = start
 		s.Persists++
 	}
 	var epochDone sim.Cycle
 	for lvl := levels; lvl >= 1; lvl-- {
-		for pi, p := range plans {
+		for pi := range plans {
+			p := &plans[pi]
 			if lvl < p.stopLevel {
 				continue // delegated to the pair's trailing persist
 			}
@@ -178,8 +197,8 @@ func (s *Scheduler) ScheduleEpoch(ready sim.Cycle, leaves []bmt.Label, cost Leve
 			if g := s.levelGate[lvl-1]; g > st {
 				st = g
 			}
-			if p.waitFor != nil && lvl == p.lcaLevel && p.waitFor.doneBelow > st {
-				st = p.waitFor.doneBelow // wait for the leader at the LCA
+			if p.waitFor >= 0 && lvl == p.lcaLevel && plans[p.waitFor].doneBelow > st {
+				st = plans[p.waitFor].doneBelow // wait for the leader at the LCA
 			}
 			pdone[pi] = cost(pi, lvl, st)
 			s.NodeUpdates++
@@ -202,8 +221,8 @@ func (s *Scheduler) ScheduleEpoch(ready sim.Cycle, leaves []bmt.Label, cost Leve
 	}
 	// A delegating leader's entry unlocks when its pair's root update
 	// completes.
-	for pi, p := range plans {
-		if p.stopLevel != 1 {
+	for pi := range plans {
+		if plans[pi].stopLevel != 1 {
 			pdone[pi] = pdone[pi+1]
 		}
 	}
@@ -252,7 +271,7 @@ func PairedNodeCount(topo *bmt.Topology, leaves []bmt.Label) int {
 			total += levels
 			break
 		}
-		lcaLvl := topo.Level(topo.LCA(leaves[i], leaves[i+1]))
+		lcaLvl := topo.LeafLCALevel(leaves[i], leaves[i+1])
 		total += (levels - lcaLvl) + levels
 	}
 	return total

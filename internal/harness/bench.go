@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"time"
+
 	"plp/internal/engine"
 	"plp/internal/registry"
 	"plp/internal/sim"
@@ -49,13 +51,17 @@ func Record(o RecordOptions) []registry.Run {
 			if o.Observe != nil {
 				o.Observe(s, p.Name, sampler)
 			}
-			res := engine.Run(cfg, p)
+			start := time.Now()
+			res := run(cfg, p)
+			wall := time.Since(start)
 			var series *telemetry.Series
 			if sampler != nil {
 				snap := sampler.Snapshot()
 				series = &snap
 			}
-			runs[i*len(schemes)+si] = registry.FromResult(res, series)
+			rec := registry.FromResult(res, series)
+			rec.SetTiming(wall)
+			runs[i*len(schemes)+si] = rec
 		}
 	})
 	return runs

@@ -120,7 +120,7 @@ func (r *runner) cfg(s engine.Scheme) engine.Config {
 // normalized runs cfg on p and normalizes to the secure_WB baseline.
 func (r *runner) normalized(cfg engine.Config, p trace.Profile) float64 {
 	base := r.baseline(p)
-	res := engine.Run(cfg, p)
+	res := run(cfg, p)
 	return float64(res.Cycles) / float64(base.Cycles)
 }
 
@@ -164,13 +164,13 @@ func TableV(o Options) *Experiment {
 	profs := r.o.profiles()
 	rows := make([][]float64, len(profs))
 	r.parallel(profs, func(i int, p trace.Profile) {
-		spFull := engine.Run(engine.Config{Scheme: engine.SchemeSP,
+		spFull := run(engine.Config{Scheme: engine.SchemeSP,
 			Instructions: r.o.Instructions, FullMemory: true}, p)
-		wbFull := engine.Run(engine.Config{Scheme: engine.SchemeSecureWB,
+		wbFull := run(engine.Config{Scheme: engine.SchemeSecureWB,
 			Instructions: r.o.Instructions, FullMemory: true}, p)
-		sp := engine.Run(engine.Config{Scheme: engine.SchemeSP,
+		sp := run(engine.Config{Scheme: engine.SchemeSP,
 			Instructions: r.o.Instructions}, p)
-		o3 := engine.Run(engine.Config{Scheme: engine.SchemeO3,
+		o3 := run(engine.Config{Scheme: engine.SchemeO3,
 			Instructions: r.o.Instructions}, p)
 		rows[i] = []float64{spFull.PPKI, p.Paper.SpFull, wbFull.PPKI, p.Paper.WBFull,
 			sp.PPKI, p.Paper.Sp, o3.PPKI, p.Paper.O3}
@@ -263,8 +263,8 @@ func Fig10(o Options) *Experiment {
 	reds := make([]float64, len(profs))
 	r.parallel(profs, func(i int, p trace.Profile) {
 		base := r.baseline(p)
-		o3 := engine.Run(r.cfg(engine.SchemeO3), p)
-		co := engine.Run(r.cfg(engine.SchemeCoalescing), p)
+		o3 := run(r.cfg(engine.SchemeO3), p)
+		co := run(r.cfg(engine.SchemeCoalescing), p)
 		rows[i] = []float64{
 			float64(o3.Cycles) / float64(base.Cycles),
 			float64(co.Cycles) / float64(base.Cycles),
@@ -302,7 +302,7 @@ func Fig11(o Options) *Experiment {
 		for c, es := range EpochSizes {
 			cfg := r.cfg(engine.SchemeO3)
 			cfg.EpochSize = es
-			row[c] = engine.Run(cfg, p).PPKI
+			row[c] = run(cfg, p).PPKI
 		}
 		rows[i] = row
 	})
@@ -410,11 +410,11 @@ func LLCSweep(o Options) *Experiment {
 	r.parallel(profs, func(i int, p trace.Profile) {
 		row := make([]float64, len(sizes))
 		for c, s := range sizes {
-			base := engine.Run(engine.Config{Scheme: engine.SchemeSecureWB,
+			base := run(engine.Config{Scheme: engine.SchemeSecureWB,
 				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory, LLCKB: s}, p)
 			cfg := r.cfg(engine.SchemeCoalescing)
 			cfg.LLCKB = s
-			res := engine.Run(cfg, p)
+			res := run(cfg, p)
 			row[c] = float64(res.Cycles) / float64(base.Cycles)
 		}
 		rows[i] = row
@@ -446,7 +446,7 @@ func CoalesceStats(o Options) *Experiment {
 	}
 	rows := make([]row, len(profs))
 	r.parallel(profs, func(i int, p trace.Profile) {
-		res := engine.Run(r.cfg(engine.SchemeCoalescing), p)
+		res := run(r.cfg(engine.SchemeCoalescing), p)
 		rows[i] = row{res.BMTNodeUpdates, res.BMTUpdatesNoCoal, res.CoalescingReduction()}
 	})
 	tab := stats.NewTable("benchmark", "nodeUpdates", "withoutCoal", "reduction")

@@ -36,11 +36,11 @@ func NVMSweep(o Options) *Experiment {
 		row := make([]float64, 0, len(nvmPoints)*2)
 		for _, pt := range nvmPoints {
 			ncfg := nvm.Config{ReadNS: pt.readNS, WriteNS: pt.writeNS}
-			base := engine.Run(engine.Config{Scheme: engine.SchemeSecureWB,
+			base := run(engine.Config{Scheme: engine.SchemeSecureWB,
 				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
-			sp := engine.Run(engine.Config{Scheme: engine.SchemeSP,
+			sp := run(engine.Config{Scheme: engine.SchemeSP,
 				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
-			co := engine.Run(engine.Config{Scheme: engine.SchemeCoalescing,
+			co := run(engine.Config{Scheme: engine.SchemeCoalescing,
 				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
 			row = append(row,
 				float64(sp.Cycles)/float64(base.Cycles),

@@ -48,6 +48,22 @@ func (r *runner) parallel(profs []trace.Profile, fn func(i int, p trace.Profile)
 // baseline is actually computed.
 var engineRun = engine.Run
 
+// arenaPool shares engine arenas across the fan-out workers: each run
+// borrows one, so a sweep's big hot-path buffers (write-merge table,
+// epoch set, BMT path table — ~100MB each) allocate once per worker
+// instead of once per run. Results are bit-identical either way.
+var arenaPool = sync.Pool{New: func() any { return engine.NewArena() }}
+
+// run executes one simulation with a pooled arena attached. Every
+// harness driver routes its engine calls through here.
+func run(cfg engine.Config, p trace.Profile) engine.Result {
+	ar := arenaPool.Get().(*engine.Arena)
+	cfg.Arena = ar
+	res := engineRun(cfg, p)
+	arenaPool.Put(ar)
+	return res
+}
+
 // baseEntry is one baseline cache slot; its once guarantees the run
 // happens exactly once even when many workers want it simultaneously.
 type baseEntry struct {
@@ -73,7 +89,7 @@ func (r *runner) baseline(p trace.Profile) engine.Result {
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		e.res = engineRun(r.cfg(engine.SchemeSecureWB), p)
+		e.res = run(r.cfg(engine.SchemeSecureWB), p)
 	})
 	return e.res
 }

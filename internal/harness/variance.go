@@ -27,9 +27,9 @@ func Variance(o Options) *Experiment {
 		for s := 0; s < varianceSeeds; s++ {
 			variant := p
 			variant.Seed = p.Seed + uint64(s)*1009
-			base := engine.Run(engine.Config{Scheme: engine.SchemeSecureWB,
+			base := run(engine.Config{Scheme: engine.SchemeSecureWB,
 				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory}, variant)
-			res := engine.Run(engine.Config{Scheme: engine.SchemeCoalescing,
+			res := run(engine.Config{Scheme: engine.SchemeCoalescing,
 				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory}, variant)
 			vals = append(vals, float64(res.Cycles)/float64(base.Cycles))
 		}

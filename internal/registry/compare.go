@@ -36,6 +36,22 @@ type Report struct {
 	// cycle deltas are meaningless across different run lengths, so
 	// this forces a failure independent of the threshold.
 	ConfigMismatch bool
+	// Throughput summarizes the simulator's own speed across the runs
+	// both files timed: total wall time old vs new and the aggregate
+	// persists-per-second ratio. Informational only — wall clock is
+	// machine-dependent, so it never fails the comparison (Failed
+	// ignores it). Nil when either side lacks timing data.
+	Throughput *ThroughputDelta
+}
+
+// ThroughputDelta aggregates the wall-clock timing of the runs present
+// (with timing) on both sides of a comparison.
+type ThroughputDelta struct {
+	Runs                 int     // runs with timing on both sides
+	OldWallNS, NewWallNS uint64  // summed over those runs
+	Speedup              float64 // OldWallNS / NewWallNS (>1 = new is faster)
+	OldStoresPerSec      float64 // aggregate persists per wall second
+	NewStoresPerSec      float64
 }
 
 // Failed reports whether the comparison should gate (non-zero exit):
@@ -72,6 +88,11 @@ func (r Report) String() string {
 	for _, k := range r.OnlyInNew {
 		fmt.Fprintf(&b, "only in new: %s\n", k)
 	}
+	if t := r.Throughput; t != nil {
+		fmt.Fprintf(&b, "throughput (informational, %d timed runs): wall %.2fs -> %.2fs (%.2fx), %.0f -> %.0f persists/s\n",
+			t.Runs, float64(t.OldWallNS)/1e9, float64(t.NewWallNS)/1e9,
+			t.Speedup, t.OldStoresPerSec, t.NewStoresPerSec)
+	}
 	return b.String()
 }
 
@@ -102,12 +123,21 @@ func Compare(old, new *File, threshold float64) Report {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	var tput ThroughputDelta
+	var oldPersists, newPersists uint64
 	for _, k := range keys {
 		o := oldByKey[k]
 		n, ok := newByKey[k]
 		if !ok {
 			rep.MissingInNew = append(rep.MissingInNew, k)
 			continue
+		}
+		if o.WallNS > 0 && n.WallNS > 0 {
+			tput.Runs++
+			tput.OldWallNS += o.WallNS
+			tput.NewWallNS += n.WallNS
+			oldPersists += o.Persists
+			newPersists += n.Persists
 		}
 		d := Delta{Scheme: o.Scheme, Bench: o.Bench,
 			OldCycles: o.Cycles, NewCycles: n.Cycles}
@@ -138,5 +168,11 @@ func Compare(old, new *File, threshold float64) Report {
 	}
 	sort.Strings(newKeys)
 	rep.OnlyInNew = newKeys
+	if tput.Runs > 0 && tput.NewWallNS > 0 && tput.OldWallNS > 0 {
+		tput.Speedup = float64(tput.OldWallNS) / float64(tput.NewWallNS)
+		tput.OldStoresPerSec = float64(oldPersists) / (float64(tput.OldWallNS) / 1e9)
+		tput.NewStoresPerSec = float64(newPersists) / (float64(tput.NewWallNS) / 1e9)
+		rep.Throughput = &tput
+	}
 	return rep
 }

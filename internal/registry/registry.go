@@ -75,6 +75,14 @@ type Run struct {
 	NVMReads  uint64 `json:"nvmReads"`
 	NVMWrites uint64 `json:"nvmWrites"`
 
+	// Simulator throughput: how long the run took on the recording
+	// machine and the persist rate that implies. Wall-clock numbers are
+	// machine- and load-dependent — comparisons surface them
+	// informationally and never gate on them (the cycle counts above
+	// are the deterministic regression signal).
+	WallNS       uint64  `json:"wallNS,omitempty"`
+	StoresPerSec float64 `json:"storesPerSec,omitempty"`
+
 	// Attribution maps component name to core cycles; encoding/json
 	// emits map keys sorted, keeping the file byte-deterministic.
 	Attribution map[string]uint64 `json:"attribution"`
@@ -89,6 +97,15 @@ type Run struct {
 
 // Key returns the run's registry identity, "scheme/bench".
 func (r Run) Key() string { return r.Scheme + "/" + r.Bench }
+
+// SetTiming records the run's wall-clock duration and derives the
+// persist throughput (persists per wall second of simulation).
+func (r *Run) SetTiming(wall time.Duration) {
+	r.WallNS = uint64(wall.Nanoseconds())
+	if s := wall.Seconds(); s > 0 {
+		r.StoresPerSec = float64(r.Persists) / s
+	}
+}
 
 // FromResult converts an engine result (plus an optional telemetry
 // series) into its registry form.

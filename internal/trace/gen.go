@@ -73,6 +73,17 @@ type Generator struct {
 	// 1 leaves the profile's calibrated value unchanged.
 	repeatScale float64
 
+	// Per-profile constants hoisted out of the per-op path. They are
+	// pure functions of the profile (and repeatScale), recomputed only
+	// when repeatScale changes; the op stream is bit-identical to
+	// evaluating them per op.
+	stackFrac  float64
+	streamProb float64
+	repeatBase float64 // (1 - distinctFrac) / P(lag <= 32)
+	pRepeat    float64 // repeatBase * repeatScale, clamped
+	gapGeom    xrand.Geom
+	lagGeom    xrand.Geom
+
 	history    [historySize]addr.Block // ring of recent non-stack stores
 	historyLen int
 	historyPos int
@@ -101,7 +112,29 @@ func NewGenerator(p Profile) *Generator {
 	if g.meanGap < 0 {
 		g.meanGap = 0
 	}
+	g.stackFrac = p.StackFrac()
+	g.streamProb = p.StreamProb()
+	r := 1 - p.EpochRepeatProb() // distinct fraction target at 32
+	pLe32 := 1 - math.Pow(1-1/lagMean, 32)
+	g.repeatBase = (1 - r) / pLe32
+	g.gapGeom = xrand.NewGeom(g.meanGap + 1)
+	g.lagGeom = xrand.NewGeom(lagMean)
+	g.setRepeatScale(1)
 	return g
+}
+
+// setRepeatScale updates the reuse-probability modulation (phased
+// sources) and refreshes the derived per-store constant.
+func (g *Generator) setRepeatScale(s float64) {
+	g.repeatScale = s
+	p := g.repeatBase * s
+	if p > 0.98 {
+		p = 0.98
+	}
+	if p < 0 {
+		p = 0
+	}
+	g.pRepeat = p
 }
 
 // Profile returns the generating profile.
@@ -114,7 +147,7 @@ func (g *Generator) gap() uint32 {
 	}
 	// Geometric around the mean keeps arrivals irregular but
 	// rate-accurate.
-	return uint32(g.rng.Geometric(g.meanGap+1) - 1)
+	return uint32(g.gapGeom.Sample(g.rng) - 1)
 }
 
 func (g *Generator) pushHistory(b addr.Block) {
@@ -141,13 +174,13 @@ func (g *Generator) lagRepeat(lag int) addr.Block {
 // (dirty-line creation, setting the secure_WB write-back rate), or
 // revisit the LLC-resident set.
 func (g *Generator) nonStackStore() addr.Block {
-	pRepeat := g.repeatProb()
-	pStream := g.p.StreamProb()
+	pRepeat := g.pRepeat
+	pStream := g.streamProb
 	x := g.rng.Float64()
 	var b addr.Block
 	switch {
 	case x < pRepeat && g.historyLen > 0:
-		b = g.lagRepeat(g.rng.Geometric(lagMean))
+		b = g.lagRepeat(g.lagGeom.Sample(g.rng))
 	case x < pRepeat+pStream:
 		b = addr.Block(streamBase) + g.streamPtr
 		g.streamPtr = (g.streamPtr + 1) % streamBlocks
@@ -158,31 +191,17 @@ func (g *Generator) nonStackStore() addr.Block {
 	return b
 }
 
-// repeatProb converts the profile's epoch-32 distinct-block target
-// into the per-store repeat probability under the geometric-lag model:
-// a store is distinct within a 32-store window unless it is a repeat
-// with lag <= 32, so  r = 1 - p*P(lag<=32)  and  p = (1-r)/P(lag<=32).
-func (g *Generator) repeatProb() float64 {
-	r := 1 - g.p.EpochRepeatProb() // distinct fraction target at 32
-	pLe32 := 1 - math.Pow(1-1/lagMean, 32)
-	p := (1 - r) / pLe32 * g.repeatScale
-	if p > 0.98 {
-		p = 0.98
-	}
-	if p < 0 {
-		p = 0
-	}
-	return p
-}
-
 // Next produces the next operation. It never ends; callers bound runs
-// by instruction count.
+// by instruction count. (The per-store repeat probability follows the
+// geometric-lag model: a store is distinct within a 32-store window
+// unless it is a repeat with lag <= 32, so r = 1 - p*P(lag<=32) and
+// p = (1-r)/P(lag<=32) — precomputed into pRepeat at construction.)
 func (g *Generator) Next() Op {
 	op := Op{Gap: g.gap()}
 	if g.rng.Float64() < g.storeFrac {
 		op.Kind = OpStore
 		g.Stores++
-		if g.rng.Float64() < g.p.StackFrac() {
+		if g.rng.Float64() < g.stackFrac {
 			op.Stack = true
 			g.StackStores++
 			op.Block = addr.Block(stackBase) + g.stackPtr
@@ -207,3 +226,30 @@ func (g *Generator) Next() Op {
 // Progress returns the number of instructions represented so far,
 // satisfying Source.
 func (g *Generator) Progress() uint64 { return g.Instructions }
+
+// BatchSource is an optional Source extension: the producer fills a
+// caller-provided buffer instead of handing out one op per interface
+// call, amortizing dispatch overhead in the simulator's hot loop. The
+// op sequence and the Progress accounting are identical to repeated
+// Next calls; Fill simply stops early at the instruction limit so a
+// consumer bounded by limit sees exactly the ops it would have pulled
+// one at a time.
+type BatchSource interface {
+	Source
+	// Fill writes ops into buf while Progress() < limit, returning how
+	// many were produced (0 when the limit has been reached).
+	Fill(buf []Op, limit uint64) int
+}
+
+// Fill produces the next batch of operations into buf, stopping when
+// the generator's instruction count reaches limit, and returns the
+// number of ops written. The resulting stream is bit-identical to
+// calling Next the same number of times.
+func (g *Generator) Fill(buf []Op, limit uint64) int {
+	n := 0
+	for n < len(buf) && g.Instructions < limit {
+		buf[n] = g.Next()
+		n++
+	}
+	return n
+}

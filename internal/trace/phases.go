@@ -52,7 +52,7 @@ func (ps *PhasedSource) enter(i int) {
 		scaled = total
 	}
 	ps.gen.storeFrac = scaled / total
-	ps.gen.repeatScale = ph.RepeatScale
+	ps.gen.setRepeatScale(ph.RepeatScale)
 }
 
 // Next returns the next operation, switching phases on schedule.

@@ -10,24 +10,57 @@
 package wpq
 
 import (
-	"container/heap"
-
 	"plp/internal/sim"
 	"plp/internal/stats"
 )
 
+// cycleHeap is a typed binary min-heap of completion times. It
+// deliberately avoids container/heap: the interface{} boxing of
+// heap.Push/Pop allocates on every persist, and the WPQ sits on the
+// simulator's per-store hot path (the steady-state loop is guarded to
+// zero allocations).
 type cycleHeap []sim.Cycle
 
-func (h cycleHeap) Len() int            { return len(h) }
-func (h cycleHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h cycleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cycleHeap) Push(x interface{}) { *h = append(*h, x.(sim.Cycle)) }
-func (h *cycleHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *cycleHeap) push(v sim.Cycle) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// popMin removes and returns the smallest completion time. The caller
+// guarantees the heap is non-empty.
+func (h *cycleHeap) popMin() sim.Cycle {
+	s := *h
+	min := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && s[l] < s[small] {
+			small = l
+		}
+		if r < len(s) && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return min
 }
 
 // Queue is a WPQ of fixed capacity.
@@ -62,11 +95,11 @@ func (q *Queue) Capacity() int { return q.capacity }
 func (q *Queue) Admit(ready sim.Cycle) sim.Cycle {
 	// Drop entries that have already completed by the ready time.
 	for len(q.inflight) > 0 && q.inflight[0] <= ready {
-		heap.Pop(&q.inflight)
+		q.inflight.popMin()
 	}
 	granted := ready
 	for len(q.inflight) >= q.capacity {
-		free := heap.Pop(&q.inflight).(sim.Cycle)
+		free := q.inflight.popMin()
 		if free > granted {
 			granted = free
 		}
@@ -80,7 +113,7 @@ func (q *Queue) Admit(ready sim.Cycle) sim.Cycle {
 // (when the whole memory tuple has persisted and the entry unlocks).
 func (q *Queue) Occupy(done sim.Cycle) {
 	q.Admitted++
-	heap.Push(&q.inflight, done)
+	q.inflight.push(done)
 }
 
 // DrainTime returns the completion time of the latest in-flight entry.

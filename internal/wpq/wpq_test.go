@@ -118,3 +118,46 @@ func TestWaitLatencyHistogram(t *testing.T) {
 		t.Fatalf("p50 wait = %d, want 0", p)
 	}
 }
+
+// TestQueueSteadyStateAllocs guards the typed heap: once the queue's
+// backing array has grown to capacity, Admit/Occupy cycles allocate
+// nothing (container/heap's interface boxing used to allocate on every
+// push and pop).
+func TestQueueSteadyStateAllocs(t *testing.T) {
+	q := New(32)
+	at := sim.Cycle(0)
+	for i := 0; i < 64; i++ { // grow the heap past capacity once
+		g := q.Admit(at)
+		q.Occupy(g + 100)
+		at += 3
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		g := q.Admit(at)
+		q.Occupy(g + 100)
+		at += 3
+	})
+	if allocs != 0 {
+		t.Fatalf("Admit/Occupy allocated %.2f objects/op in steady state", allocs)
+	}
+}
+
+// TestHeapOrdering exercises the hand-rolled sift operations against a
+// reference: popMin must always return the minimum of what was pushed.
+func TestHeapOrdering(t *testing.T) {
+	var h cycleHeap
+	vals := []sim.Cycle{9, 3, 7, 1, 8, 2, 2, 100, 0, 55, 4}
+	for _, v := range vals {
+		h.push(v)
+	}
+	prev := sim.Cycle(0)
+	for range vals {
+		v := h.popMin()
+		if v < prev {
+			t.Fatalf("popMin out of order: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h))
+	}
+}

@@ -94,16 +94,40 @@ func (r *RNG) Bool(p float64) bool {
 // m (the number of trials up to and including the first success),
 // via the O(1) inverse-transform method — constant time even for very
 // large means, unlike trial-by-trial rejection. m must be >= 1.
+//
+// Samplers drawing many values at one fixed mean should use NewGeom,
+// which hoists the constant log(1-p) out of the per-sample path while
+// producing the bit-identical sample stream.
 func (r *RNG) Geometric(m float64) int {
+	return NewGeom(m).Sample(r)
+}
+
+// Geom is a geometric sampler with a precomputed denominator for a
+// fixed mean: Sample costs one RNG draw and one math.Log instead of
+// two. The zero value is a degenerate sampler that always returns 1.
+type Geom struct {
+	logQ float64 // math.Log(1 - 1/m); 0 marks the m <= 1 degenerate case
+}
+
+// NewGeom builds a sampler for mean m (trials up to and including the
+// first success). Sample(r) returns exactly what r.Geometric(m) would.
+func NewGeom(m float64) Geom {
 	if m <= 1 {
+		return Geom{}
+	}
+	return Geom{logQ: math.Log(1 - 1/m)}
+}
+
+// Sample draws one geometric sample from r.
+func (g Geom) Sample(r *RNG) int {
+	if g.logQ == 0 {
 		return 1
 	}
-	p := 1 / m
 	u := r.Float64()
 	if u == 0 {
 		u = 0x1p-53
 	}
-	n := int(math.Log(u)/math.Log(1-p)) + 1
+	n := int(math.Log(u)/g.logQ) + 1
 	if n < 1 {
 		n = 1
 	}

@@ -150,3 +150,43 @@ func BenchmarkUint64(b *testing.B) {
 		_ = r.Uint64()
 	}
 }
+
+// TestGeomMatchesGeometric pins that the precomputed sampler draws the
+// exact sequence the one-shot Geometric form does — same RNG
+// consumption, same values — across means including the degenerate
+// m <= 1 case (which must not consume RNG state at all).
+func TestGeomMatchesGeometric(t *testing.T) {
+	for _, m := range []float64{0.0, 0.5, 1.0, 1.001, 2, 16, 1000, 1e9} {
+		r1 := New(42)
+		r2 := New(42)
+		g := NewGeom(m)
+		for i := 0; i < 2000; i++ {
+			want := r1.Geometric(m)
+			got := g.Sample(r2)
+			if got != want {
+				t.Fatalf("m=%g draw %d: Geom.Sample=%d, Geometric=%d", m, i, got, want)
+			}
+		}
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatalf("m=%g: RNG states diverged after 2000 draws", m)
+		}
+	}
+}
+
+// TestGeomDegenerateConsumesNothing pins that means <= 1 short-circuit
+// to 1 without advancing the stream (callers depend on this for
+// bit-identical traces).
+func TestGeomDegenerateConsumesNothing(t *testing.T) {
+	r := New(7)
+	want := r.Uint64()
+	r2 := New(7)
+	g := NewGeom(0.5)
+	for i := 0; i < 10; i++ {
+		if v := g.Sample(r2); v != 1 {
+			t.Fatalf("degenerate sample = %d, want 1", v)
+		}
+	}
+	if got := r2.Uint64(); got != want {
+		t.Fatal("degenerate Geom.Sample consumed RNG state")
+	}
+}
