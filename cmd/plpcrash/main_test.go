@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"plp/internal/registry"
+)
+
+// runCmd invokes the CLI entry point and returns (stdout, stderr, exit).
+func runCmd(args ...string) (string, string, int) {
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return out.String(), errw.String(), code
+}
+
+func TestRunCleanExitsZero(t *testing.T) {
+	out, errs, code := runCmd("run", "-schemes", "pipeline,o3",
+		"-instructions", "10000", "-systematic", "16", "-random", "8")
+	if code != 0 {
+		t.Fatalf("clean campaign exit = %d, stderr %q\n%s", code, errs, out)
+	}
+	if !strings.Contains(out, "every crash point recovered correctly") {
+		t.Errorf("missing all-clear line:\n%s", out)
+	}
+}
+
+func TestRunFaultExitsNonZeroAndWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	out, _, code := runCmd("run", "-schemes", "pipeline",
+		"-instructions", "10000", "-systematic", "32", "-random", "8",
+		"-fault-early-root-ack", "-o", path, "-tag", "unit")
+	if code != 1 {
+		t.Fatalf("fault campaign exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "invariant 2") || !strings.Contains(out, "repro: plpcrash repro") {
+		t.Errorf("failure output lacks violation or repro hint:\n%s", out)
+	}
+	f, err := registry.LoadCrash(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Clean || f.Tag != "unit" || len(f.Schemes) != 1 || len(f.Schemes[0].Failures) == 0 {
+		t.Errorf("report on disk inconsistent with the failing run: %+v", f)
+	}
+}
+
+func TestReproVerdicts(t *testing.T) {
+	// A clean triple passes...
+	out, _, code := runCmd("repro", "-scheme", "pipeline", "-instructions", "10000", "-crash", "5000")
+	if code != 0 || !strings.Contains(out, "crash point recovers correctly") {
+		t.Fatalf("clean repro exit = %d:\n%s", code, out)
+	}
+	// ...and the same triple with the injected bug fails deterministically.
+	out1, _, code := runCmd("repro", "-scheme", "pipeline", "-instructions", "10000",
+		"-crash", "3730", "-fault-early-root-ack")
+	if code != 1 || !strings.Contains(out1, "VIOLATION: invariant 2") {
+		t.Fatalf("fault repro exit = %d:\n%s", code, out1)
+	}
+	out2, _, _ := runCmd("repro", "-scheme", "pipeline", "-instructions", "10000",
+		"-crash", "3730", "-fault-early-root-ack")
+	if out1 != out2 {
+		t.Errorf("repro output not deterministic:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestShrinkMinimizesAndPrintsRepro(t *testing.T) {
+	out, _, code := runCmd("shrink", "-scheme", "pipeline", "-instructions", "10000",
+		"-crash", "3730", "-fault-early-root-ack")
+	if code != 1 {
+		t.Fatalf("shrink exit = %d:\n%s", code, out)
+	}
+	for _, want := range []string{"minimal ", "VIOLATION: invariant 2", "repro      plpcrash repro"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shrink output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadUsageExitsTwo(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"run", "-schemes", "nosuch"},
+		{"repro", "-scheme", "pipeline"},  // missing -crash
+		{"shrink", "-scheme", "pipeline"}, // missing -crash
+		{"run", "-bench", "nosuch-benchmark-name"}, // unknown profile
+	}
+	for _, args := range cases {
+		if _, _, code := runCmd(args...); code != 2 {
+			t.Errorf("plpcrash %v exit = %d, want 2", args, code)
+		}
+	}
+}

@@ -1,30 +1,69 @@
 // Command plprecover runs the crash-recovery checker: randomized
 // crash-point fuzzing of the functional secure memory, plus the
 // mechanical Table I / Table II validations. A correct build prints
-// all-clear; any invariant violation is listed.
+// all-clear; any invariant violation is listed and the exit status is
+// non-zero.
 //
 // Usage:
 //
-//	plprecover                     # default campaign
+//	plprecover                     # every check, defaults
 //	plprecover -seeds 20 -writes 256 -epoch 16
+//	plprecover -check lattice      # one check mode only
+//	plprecover -inject-drop-root 5 # must exit non-zero (self-test)
+//
+// Flag defaults mirror the exported recovery.Default* constants, so
+// the fuzzer's own defaults and the command line cannot diverge.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"plp/internal/recovery"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// checkModes lists the -check values in output order.
+var checkModes = []string{"atomic", "epoch", "tableI", "lattice", "rootorder"}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("plprecover", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		seeds  = flag.Int("seeds", 8, "number of independent fuzzing seeds")
-		writes = flag.Int("writes", 128, "persists per schedule")
-		epoch  = flag.Int("epoch", 8, "epoch size for the OOO-epoch campaign")
-		levels = flag.Int("levels", 5, "BMT levels of the functional memory")
+		seeds  = fs.Int("seeds", 8, "number of independent fuzzing seeds")
+		writes = fs.Int("writes", recovery.DefaultWrites,
+			fmt.Sprintf("persists per schedule (recovery.DefaultWrites = %d)", recovery.DefaultWrites))
+		blocks = fs.Int("blocks", recovery.DefaultBlocks,
+			fmt.Sprintf("address range in blocks (recovery.DefaultBlocks = %d)", recovery.DefaultBlocks))
+		epoch = fs.Int("epoch", recovery.DefaultEpochSize,
+			fmt.Sprintf("epoch size for the OOO-epoch campaign (recovery.DefaultEpochSize = %d)", recovery.DefaultEpochSize))
+		levels = fs.Int("levels", recovery.DefaultLevels,
+			fmt.Sprintf("BMT levels of the functional memory (recovery.DefaultLevels = %d)", recovery.DefaultLevels))
+		check = fs.String("check", "all",
+			"check mode: all, atomic, epoch, tableI, lattice, rootorder")
+		inject = fs.Int("inject-drop-root", 0,
+			"drop the BMT root update of the Nth atomic persist (deliberate Invariant 2 break; the run must fail)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	valid := *check == "all"
+	for _, m := range checkModes {
+		if *check == m {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(errw, "plprecover: unknown -check mode %q (want all, %s)\n",
+			*check, "atomic, epoch, tableI, lattice, rootorder")
+		return 2
+	}
+	want := func(mode string) bool { return *check == "all" || *check == mode }
 
 	failed := false
 	report := func(name string, rep recovery.Report) {
@@ -33,30 +72,46 @@ func main() {
 			status = fmt.Sprintf("FAILED (%d violations)", len(rep.Failures))
 			failed = true
 		}
-		fmt.Printf("%-28s crashes=%-5d persists=%-6d %s\n",
+		fmt.Fprintf(out, "%-28s crashes=%-5d persists=%-6d %s\n",
 			name, rep.Crashes, rep.Persists, status)
 		for _, f := range rep.Failures {
-			fmt.Printf("    %s\n", f)
+			fmt.Fprintf(out, "    %s\n", f)
 		}
 	}
 
-	fmt.Printf("crash-recovery campaign: %d seeds x %d writes, %d-level BMT\n\n",
+	fmt.Fprintf(out, "crash-recovery campaign: %d seeds x %d writes, %d-level BMT\n\n",
 		*seeds, *writes, *levels)
 
+	base := recovery.Config{Writes: *writes, Blocks: *blocks, Levels: *levels}
 	for s := 0; s < *seeds; s++ {
-		cfg := recovery.Config{Seed: uint64(s), Writes: *writes, Levels: *levels}
-		report(fmt.Sprintf("atomic-persists seed=%d", s), recovery.FuzzAtomicPersists(cfg))
-		report(fmt.Sprintf("epoch-ooo seed=%d", s), recovery.FuzzEpochOOO(cfg, *epoch))
+		cfg := base
+		cfg.Seed = uint64(s)
+		if want("atomic") {
+			cfg.InjectDropRoot = *inject
+			report(fmt.Sprintf("atomic-persists seed=%d", s), recovery.FuzzAtomicPersists(cfg))
+			cfg.InjectDropRoot = 0
+		}
+		if want("epoch") {
+			report(fmt.Sprintf("epoch-ooo seed=%d", s), recovery.FuzzEpochOOO(cfg, *epoch))
+		}
 	}
 
-	fmt.Println()
-	report("table-I predictions", recovery.CheckTableI(recovery.Config{Seed: 1, Levels: *levels}))
-	report("tuple lattice (16 subsets)", recovery.CheckTupleLattice(recovery.Config{Seed: 1, Levels: *levels}))
-	report("root-order violation", recovery.CheckRootOrderViolation(recovery.Config{Seed: 1, Levels: *levels}))
+	single := base
+	single.Seed = 1
+	if want("tableI") {
+		report("table-I predictions", recovery.CheckTableI(single))
+	}
+	if want("lattice") {
+		report("tuple lattice (16 subsets)", recovery.CheckTupleLattice(single))
+	}
+	if want("rootorder") {
+		report("root-order violation", recovery.CheckRootOrderViolation(single))
+	}
 
 	if failed {
-		fmt.Println("\nRESULT: invariant violations found")
-		os.Exit(1)
+		fmt.Fprintln(out, "\nRESULT: invariant violations found")
+		return 1
 	}
-	fmt.Println("\nRESULT: all crash points recovered correctly; all predicted failure classes observed")
+	fmt.Fprintln(out, "\nRESULT: all crash points recovered correctly; all predicted failure classes observed")
+	return 0
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runCmd invokes the CLI entry point and returns (stdout, stderr, exit).
+func runCmd(args ...string) (string, string, int) {
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return out.String(), errw.String(), code
+}
+
+// Every check mode's output is deterministic and pinned by a golden
+// file; a correct build exits zero in each mode.
+func TestCheckModeGoldens(t *testing.T) {
+	for _, mode := range append([]string{"all"}, checkModes...) {
+		// Small bounds keep each mode fast; fixed flags keep it pinned.
+		got, errs, code := runCmd("-check", mode, "-seeds", "2", "-writes", "32")
+		if code != 0 {
+			t.Errorf("-check %s exit = %d, stderr %q\n%s", mode, code, errs, got)
+			continue
+		}
+		again, _, _ := runCmd("-check", mode, "-seeds", "2", "-writes", "32")
+		if got != again {
+			t.Errorf("-check %s output differs between identical invocations", mode)
+		}
+		golden := filepath.Join("testdata", mode+".golden")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./cmd/plprecover -update` to create it)", err)
+		}
+		if got != string(want) {
+			t.Errorf("-check %s output differs from %s\n(refresh with -update if the change is intentional)\ngot:\n%s",
+				mode, golden, got)
+		}
+	}
+}
+
+// The injected root-update drop is a self-test of the checker: the run
+// must flag it and exit non-zero.
+func TestInjectedFailureExitsNonZero(t *testing.T) {
+	out, _, code := runCmd("-check", "atomic", "-seeds", "1", "-writes", "32", "-inject-drop-root", "5")
+	if code != 1 {
+		t.Fatalf("injected failure exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAILED") || !strings.Contains(out, "BMT verification failed") {
+		t.Errorf("injected failure not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "RESULT: invariant violations found") {
+		t.Errorf("missing failing RESULT line:\n%s", out)
+	}
+}
+
+// The -h text must quote the recovery package defaults, so a reader of
+// the flags sees the same numbers Config.fill applies.
+func TestHelpSurfacesRecoveryDefaults(t *testing.T) {
+	_, errs, _ := runCmd("-h")
+	for _, want := range []string{
+		"recovery.DefaultWrites = 64",
+		"recovery.DefaultBlocks = 256",
+		"recovery.DefaultEpochSize = 8",
+		"recovery.DefaultLevels = 5",
+	} {
+		if !strings.Contains(errs, want) {
+			t.Errorf("-h output lacks %q:\n%s", want, errs)
+		}
+	}
+}
+
+func TestUnknownCheckModeExitsTwo(t *testing.T) {
+	if _, _, code := runCmd("-check", "nosuch"); code != 2 {
+		t.Errorf("unknown -check exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,341 @@
+// Package crash is the crash-injection campaign engine: it runs any
+// scheme's timing simulation to an injected crash cycle, reconstructs
+// exactly what the timed model says had persisted at that instant
+// (completed tuple persists — in-flight WPQ entries and outstanding
+// PTT/ETT tree updates are lost), materializes that snapshot into the
+// functional secure memory (internal/core), runs recovery, and
+// verifies the paper's invariants:
+//
+//   - Invariant 1: every persisted datum recovers with its complete
+//     (C, γ, M, R) memory tuple — recovery is clean and each block
+//     reads back its last persisted value.
+//   - Invariant 2: the persisted set is a prefix of the persist order
+//     (strict schemes) or a prefix of whole epochs (epoch schemes) —
+//     no persist completes while an older one is still in flight.
+//
+// A campaign (see campaign.go) sweeps systematic crash points (every
+// persist-completion boundary in the window) plus seeded-random ones,
+// in parallel through the harness worker pool. Every case is
+// identified by the deterministic repro triple (scheme, trace seed,
+// crash cycle) plus the instruction window, and failing cases shrink
+// to the minimal store prefix that still fails.
+package crash
+
+import (
+	"fmt"
+
+	"plp/internal/engine"
+	"plp/internal/ett"
+	"plp/internal/ptt"
+	"plp/internal/sim"
+	"plp/internal/trace"
+	"plp/internal/wpq"
+)
+
+// Case identifies one crash experiment deterministically: re-running
+// the same case reproduces the same snapshot and verdict bit for bit.
+type Case struct {
+	Scheme engine.Scheme `json:"scheme"`
+	Bench  string        `json:"bench"`
+	// TraceSeed overrides the benchmark profile's trace seed; 0 keeps
+	// the profile default.
+	TraceSeed    uint64    `json:"traceSeed,omitempty"`
+	Instructions uint64    `json:"instructions"`
+	CrashAt      sim.Cycle `json:"crashAt"`
+	// FaultEarlyRootAck forwards the engine's fault-injection hook
+	// (engine.Config.FaultEarlyRootAck) so a reported fault repro
+	// carries everything needed to reproduce it.
+	FaultEarlyRootAck bool `json:"faultEarlyRootAck,omitempty"`
+}
+
+// String renders the repro identity.
+func (c Case) String() string {
+	s := fmt.Sprintf("%s/%s seed=%d instructions=%d crash=%d",
+		c.Scheme, c.Bench, c.Seed(), c.Instructions, c.CrashAt)
+	if c.FaultEarlyRootAck {
+		s += " fault=early-root-ack"
+	}
+	return s
+}
+
+// profile resolves the case's benchmark profile, applying the seed
+// override.
+func (c Case) profile() (trace.Profile, error) {
+	p, ok := trace.ProfileByName(c.Bench)
+	if !ok {
+		return trace.Profile{}, fmt.Errorf("crash: unknown benchmark %q", c.Bench)
+	}
+	if c.TraceSeed != 0 {
+		p.Seed = c.TraceSeed
+	}
+	return p, nil
+}
+
+// Seed returns the effective trace seed (the profile default unless
+// overridden) — the seed of the repro triple.
+func (c Case) Seed() uint64 {
+	if c.TraceSeed != 0 {
+		return c.TraceSeed
+	}
+	if p, ok := trace.ProfileByName(c.Bench); ok {
+		return p.Seed
+	}
+	return 0
+}
+
+// config builds the engine configuration of the case's timed run.
+func (c Case) config(log *engine.CrashLog, crashAt sim.Cycle) engine.Config {
+	return engine.Config{
+		Scheme:            c.Scheme,
+		Instructions:      c.Instructions,
+		CrashAt:           crashAt,
+		CrashLog:          log,
+		FaultEarlyRootAck: c.FaultEarlyRootAck,
+	}
+}
+
+// Guarantee is the recoverability contract a scheme promises, which
+// determines what the campaign verifies at a crash point.
+type Guarantee string
+
+const (
+	// GuaranteeStrict: persists complete in persist order, so the
+	// persisted set at any crash instant is an exact prefix. Covers
+	// sp/pipeline/sgxtree/colocated — and secure_WB, whose eviction
+	// stream persists through the same sequential engine (it promises
+	// nothing about *when* a store persists, but what has persisted is
+	// ordered and tuple-complete).
+	GuaranteeStrict Guarantee = "strict"
+	// GuaranteeEpoch: epoch persistency — whole epochs persist in
+	// epoch order; within the newest epoch the crash may tear, and the
+	// torn epoch is lost (recovery restarts from the last boundary).
+	GuaranteeEpoch Guarantee = "epoch"
+	// GuaranteeNone: the unordered scheme deliberately leaves
+	// Invariant 2 unenforced (Table II); only well-formedness is
+	// checked, never ordering. The campaign's negative control forces
+	// GuaranteeStrict onto its snapshots to show violations occur.
+	GuaranteeNone Guarantee = "none"
+)
+
+// GuaranteeOf maps a scheme to its recoverability contract.
+func GuaranteeOf(s engine.Scheme) Guarantee {
+	switch s {
+	case engine.SchemeO3, engine.SchemeCoalescing:
+		return GuaranteeEpoch
+	case engine.SchemeUnordered:
+		return GuaranteeNone
+	default:
+		return GuaranteeStrict
+	}
+}
+
+// Snapshot is the persisted state a crash at Case.CrashAt freezes, as
+// the timing model reports it. Persisted holds every persist whose
+// whole tuple completed by the crash instant, in persist order;
+// InFlight holds the invariant-relevant lost persists — those that
+// were admitted but incomplete while a younger persist (strict) or a
+// younger epoch's persist (epoch) had already completed. Records
+// admitted after every persisted one are simply never-issued work and
+// carry no invariant obligation, so they are not listed; this also
+// makes snapshots identical whether extracted from a dedicated
+// crash-stopped run or filtered out of a longer shared-window log.
+type Snapshot struct {
+	Case Case `json:"case"`
+	// Horizon is the last cycle the timed run simulated (the crash
+	// cycle for a dedicated run, the window end for a shared log).
+	// Reporting only: verdicts never depend on it.
+	Horizon   sim.Cycle              `json:"horizon"`
+	Persisted []engine.PersistRecord `json:"persisted"`
+	InFlight  []engine.PersistRecord `json:"inFlight"`
+
+	// Hardware occupancy at the crash instant, from the engine's
+	// snapshot API. Only dedicated runs (Take) fill these; campaign
+	// snapshots extracted from a shared log leave them nil/zero.
+	// Reporting only.
+	WPQ wpq.Snapshot  `json:"wpq,omitempty"`
+	PTT *ptt.Snapshot `json:"ptt,omitempty"`
+	ETT *ett.Snapshot `json:"ett,omitempty"`
+}
+
+// snapshotFromLog extracts the crash-time persisted state at
+// c.CrashAt from a run's crash log. hw copies the log's hardware
+// occupancy snapshots (valid only when the log came from a run
+// crash-stopped at this very cycle).
+func snapshotFromLog(c Case, log *engine.CrashLog, horizon sim.Cycle, hw bool) Snapshot {
+	snap := Snapshot{Case: c, Horizon: horizon}
+	at := c.CrashAt
+	var maxSeq, maxEpoch uint64
+	for _, r := range log.Records {
+		if r.Done <= at {
+			snap.Persisted = append(snap.Persisted, r)
+			maxSeq, maxEpoch = r.Seq, r.Epoch
+		}
+	}
+	if len(snap.Persisted) > 0 {
+		epoch := GuaranteeOf(c.Scheme) == GuaranteeEpoch
+		for _, r := range log.Records {
+			if r.Done <= at {
+				continue
+			}
+			if (epoch && r.Epoch <= maxEpoch) || (!epoch && r.Seq < maxSeq) {
+				snap.InFlight = append(snap.InFlight, r)
+			}
+		}
+	}
+	if hw {
+		snap.WPQ = log.WPQ
+		snap.PTT = log.PTT
+		snap.ETT = log.ETT
+	}
+	return snap
+}
+
+// Take runs the case's timed simulation to its crash cycle and
+// returns the persisted-state snapshot, including the hardware
+// occupancy at the crash instant. Deterministic: equal cases yield
+// byte-identical snapshots.
+func Take(c Case) (Snapshot, error) {
+	log, horizon, err := runLog(c, c.CrashAt)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return snapshotFromLog(c, log, horizon, true), nil
+}
+
+// runLog executes the case's timed run with a crash log attached.
+func runLog(c Case, crashAt sim.Cycle) (*engine.CrashLog, sim.Cycle, error) {
+	p, err := c.profile()
+	if err != nil {
+		return nil, 0, err
+	}
+	var log engine.CrashLog
+	res := engine.Run(c.config(&log, crashAt), p)
+	return &log, res.Cycles, nil
+}
+
+// RecoverySummary condenses the functional recovery of a materialized
+// snapshot.
+type RecoverySummary struct {
+	BMTOK         bool `json:"bmtOK"`
+	MACFailures   int  `json:"macFailures"`
+	BlocksChecked int  `json:"blocksChecked"`
+}
+
+// Verdict is one crash point's verification outcome.
+type Verdict struct {
+	Case      Case      `json:"case"`
+	Guarantee Guarantee `json:"guarantee"`
+	// Persisted/InFlight mirror the snapshot's counts; Materialized is
+	// the number of persists replayed into the functional memory and
+	// DroppedPartial the persisted records discarded with a torn
+	// newest epoch (epoch schemes: a mid-epoch crash loses the epoch).
+	Persisted      int             `json:"persisted"`
+	InFlight       int             `json:"inFlight"`
+	Materialized   int             `json:"materialized"`
+	DroppedPartial int             `json:"droppedPartial,omitempty"`
+	Recovery       RecoverySummary `json:"recovery"`
+	// Violations lists the invariant breaches found at this crash
+	// point (empty = the point verifies).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// OK reports whether the crash point verified cleanly.
+func (v Verdict) OK() bool { return len(v.Violations) == 0 }
+
+// maxListed bounds the violation strings recorded per crash point; a
+// torn window can implicate hundreds of persists and one verdict only
+// needs enough to diagnose.
+const maxListed = 8
+
+// Check verifies a snapshot under its scheme's own guarantee. levels
+// sets the functional memory's BMT depth (0 = DefaultLevels).
+func Check(snap Snapshot, levels int) Verdict {
+	return CheckAs(snap, GuaranteeOf(snap.Case.Scheme), levels)
+}
+
+// CheckAs verifies a snapshot under an explicit guarantee: the
+// ordering invariant on the timed persisted set, then recovery of the
+// materialized functional state. Forcing a guarantee a scheme does
+// not give (e.g. strict onto unordered) is the campaign's negative
+// control.
+func CheckAs(snap Snapshot, g Guarantee, levels int) Verdict {
+	v := Verdict{
+		Case:      snap.Case,
+		Guarantee: g,
+		Persisted: len(snap.Persisted),
+		InFlight:  len(snap.InFlight),
+	}
+	v.Violations = append(v.Violations, checkOrder(snap, g)...)
+	mat := materialize(snap, g, levels)
+	v.Materialized = mat.materialized
+	v.DroppedPartial = mat.dropped
+	v.Recovery = mat.summary
+	v.Violations = append(v.Violations, mat.violations...)
+	return v
+}
+
+// checkOrder verifies Invariant 2 on the timed persisted set.
+func checkOrder(snap Snapshot, g Guarantee) []string {
+	if g == GuaranteeNone || len(snap.Persisted) == 0 {
+		return nil
+	}
+	last := snap.Persisted[len(snap.Persisted)-1]
+	var out []string
+	listed, extra := 0, 0
+	add := func(format string, args ...interface{}) {
+		if listed < maxListed {
+			out = append(out, fmt.Sprintf(format, args...))
+			listed++
+		} else {
+			extra++
+		}
+	}
+	// A persist acknowledged before its root update completed (Done <
+	// RootDone straddling the crash) left a tuple missing its R — the
+	// exact failure Config.FaultEarlyRootAck injects. Checked under
+	// every guarantee; correct schemes always record RootDone <= Done.
+	for _, r := range snap.Persisted {
+		if r.RootDone > snap.Case.CrashAt {
+			add("invariant 2: persist #%d (block %d) acknowledged at cycle %d with its root update still in flight (root done %d) at crash cycle %d",
+				r.Seq, r.Block, r.Done, r.RootDone, snap.Case.CrashAt)
+		}
+	}
+	switch g {
+	case GuaranteeStrict:
+		for _, r := range snap.InFlight {
+			add("invariant 2: persist #%d (block %d, done %d) incomplete at crash cycle %d while younger persist #%d had completed",
+				r.Seq, r.Block, r.Done, snap.Case.CrashAt, last.Seq)
+		}
+		// Belt and braces: with no in-flight elders the persisted seqs
+		// must be exactly 0..n-1.
+		if len(snap.InFlight) == 0 {
+			for i, r := range snap.Persisted {
+				if r.Seq != uint64(i) {
+					add("invariant 2: persisted set is not a persist-order prefix (position %d holds persist #%d)", i, r.Seq)
+					break
+				}
+			}
+		}
+	case GuaranteeEpoch:
+		for _, r := range snap.InFlight {
+			if r.Epoch < last.Epoch {
+				add("invariant 2 (epoch): persist #%d of epoch %d (done %d) incomplete at crash cycle %d while epoch %d had completed persists",
+					r.Seq, r.Epoch, r.Done, snap.Case.CrashAt, last.Epoch)
+			}
+		}
+	}
+	if extra > 0 {
+		out = append(out, fmt.Sprintf("... and %d more ordering violations", extra))
+	}
+	return out
+}
+
+// Verify runs the case end to end: timed run to the crash cycle,
+// snapshot, materialization, recovery, invariant checks.
+func Verify(c Case, levels int) (Verdict, error) {
+	snap, err := Take(c)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Check(snap, levels), nil
+}

@@ -1,0 +1,194 @@
+package crash
+
+import (
+	"fmt"
+	"sort"
+
+	"plp/internal/addr"
+	"plp/internal/core"
+	"plp/internal/engine"
+	"plp/internal/tuple"
+	"plp/internal/xrand"
+)
+
+// DefaultLevels is the functional memory's BMT depth for
+// materialization: 7 levels at arity 8 cover every page the synthetic
+// traces address, so no block aliasing occurs. (The timed model's
+// 9-level default would work too but septuple the recovery hashing for
+// no extra coverage.)
+const DefaultLevels = 7
+
+// materialization is what replaying a snapshot into core.Memory
+// produced.
+type materialization struct {
+	materialized int
+	dropped      int
+	summary      RecoverySummary
+	violations   []string
+}
+
+// dataFor derives the deterministic plaintext of one persist: a
+// function of the trace seed and the persist's program order, so a
+// repro run materializes byte-identical block contents.
+func dataFor(seed, seq uint64) core.BlockData {
+	r := xrand.New(seed ^ (seq+1)*0x9e3779b97f4a7c15)
+	var d core.BlockData
+	r.Fill(d[:])
+	return d
+}
+
+// materialize replays the snapshot's persisted records into a fresh
+// functional secure memory exactly as the guarantee says they
+// persisted — strict: each persist an atomic ordered tuple persist;
+// epoch: whole epochs, tree updates applied in the timed completion
+// order (exercising §IV-B1 commutativity), a torn newest epoch
+// dropped — then crashes it, runs recovery, and verifies Invariant 1:
+// clean recovery and every materialized block reading back its last
+// persisted value.
+func materialize(snap Snapshot, g Guarantee, levels int) materialization {
+	if levels <= 0 {
+		levels = DefaultLevels
+	}
+	m := core.MustNew(core.Config{
+		Key:       []byte("crash-campaign!!"),
+		BMTLevels: levels,
+		BMTArity:  8,
+	})
+	// Fold trace blocks onto the functional tree's coverage (identity
+	// at DefaultLevels; shallow test trees alias harmlessly).
+	covered := m.Tree().Topology().Leaves() * addr.BlocksPerPage
+	fold := func(b addr.Block) addr.Block { return addr.Block(uint64(b) % covered) }
+	seed := snap.Case.Seed()
+
+	var mat materialization
+	want := map[addr.Block]core.BlockData{}
+
+	switch g {
+	case GuaranteeEpoch:
+		mat.materializeEpochs(m, snap, fold, seed, want)
+	default:
+		// Strict (and the unordered scheme's well-formedness check):
+		// replay each persisted tuple atomically, in persist order. A
+		// persist acknowledged before its root update completed (the
+		// FaultEarlyRootAck bug) lands with its R still in flight at the
+		// crash: commit the tuple without its root so recovery sees the
+		// mismatch the buggy hardware would really leave behind.
+		for _, r := range snap.Persisted {
+			b := fold(r.Block)
+			d := dataFor(seed, r.Seq)
+			if r.RootDone > snap.Case.CrashAt {
+				p := m.Prepare(b, d)
+				m.ApplyTreeUpdate(p)
+				m.Commit(p, tuple.Complete.Without(tuple.Root))
+			} else {
+				m.Write(b, d)
+				m.Persist(b)
+			}
+			want[b] = d
+			mat.materialized++
+		}
+	}
+
+	m.Crash()
+	rep := m.Recover()
+	mat.summary = RecoverySummary{
+		BMTOK:         rep.BMTOK,
+		MACFailures:   len(rep.MACFailures),
+		BlocksChecked: rep.BlocksChecked,
+	}
+	if !rep.BMTOK {
+		mat.violations = append(mat.violations,
+			fmt.Sprintf("invariant 1: BMT root does not cover the persisted counters after crash at cycle %d", snap.Case.CrashAt))
+	}
+	blocks := make([]addr.Block, 0, len(want))
+	for b := range want {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	listed, extra := 0, 0
+	for _, b := range blocks {
+		if obs := m.VerifyAgainst(b, want[b]); !obs.Clean() {
+			if listed < maxListed {
+				mat.violations = append(mat.violations,
+					fmt.Sprintf("invariant 1: block %d recovers with outcome %v", b, obs))
+				listed++
+			} else {
+				extra++
+			}
+		}
+	}
+	if extra > 0 {
+		mat.violations = append(mat.violations,
+			fmt.Sprintf("... and %d more block recovery failures", extra))
+	}
+	return mat
+}
+
+// materializeEpochs replays whole epochs under epoch-persistency
+// semantics. An epoch is complete when none of its persists are in
+// flight at the crash; materialization stops at the first torn epoch
+// (a mid-epoch crash loses the epoch — recovery resumes from the last
+// boundary), counting its already-completed persists as dropped.
+func (mat *materialization) materializeEpochs(m *core.Memory, snap Snapshot, fold func(addr.Block) addr.Block, seed uint64, want map[addr.Block]core.BlockData) {
+	torn := map[uint64]bool{}
+	for _, r := range snap.InFlight {
+		torn[r.Epoch] = true
+	}
+	// Group persisted records by epoch, preserving persist order
+	// (records arrive in persist order; epochs are nondecreasing).
+	var epochs [][]engine.PersistRecord
+	for _, r := range snap.Persisted {
+		if n := len(epochs); n == 0 || epochs[n-1][0].Epoch != r.Epoch {
+			epochs = append(epochs, nil)
+		}
+		epochs[len(epochs)-1] = append(epochs[len(epochs)-1], r)
+	}
+	for ei, ep := range epochs {
+		if torn[ep[0].Epoch] {
+			// Everything from the first torn epoch on is lost.
+			for _, rest := range epochs[ei:] {
+				mat.dropped += len(rest)
+			}
+			return
+		}
+		// Folding can alias two of the epoch's distinct trace blocks
+		// onto one functional block (shallow test trees only); keep the
+		// latest persist of each folded block, as the WPQ's write merge
+		// would.
+		byBlock := map[addr.Block]int{} // folded block -> index into ep
+		var order []addr.Block
+		for i, r := range ep {
+			b := fold(r.Block)
+			if _, dup := byBlock[b]; !dup {
+				order = append(order, b)
+			}
+			byBlock[b] = i
+		}
+		// Prepare tuples in persist order, then apply tree updates and
+		// commit in the timed completion order — the out-of-order
+		// schedule the ETT actually produced, which §IV-B1 proves
+		// converges to the same root.
+		pendings := make(map[addr.Block]*core.Pending, len(order))
+		for _, b := range order {
+			r := ep[byBlock[b]]
+			d := dataFor(seed, r.Seq)
+			pendings[b] = m.Prepare(b, d)
+			want[b] = d
+			mat.materialized++
+		}
+		done := append([]addr.Block(nil), order...)
+		sort.Slice(done, func(i, j int) bool {
+			ri, rj := ep[byBlock[done[i]]], ep[byBlock[done[j]]]
+			if ri.Done != rj.Done {
+				return ri.Done < rj.Done
+			}
+			return ri.Seq < rj.Seq
+		})
+		for _, b := range done {
+			m.ApplyTreeUpdate(pendings[b])
+		}
+		for _, b := range done {
+			m.Commit(pendings[b], tuple.Complete)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"plp/internal/addr"
+	"plp/internal/ett"
+	"plp/internal/ptt"
+	"plp/internal/sim"
+	"plp/internal/wpq"
+)
+
+// PersistRecord is one tuple persist as the timing model scheduled it:
+// the identity the crash-injection campaign needs to reconstruct what
+// had persisted at an arbitrary crash cycle. Seq is the program
+// persist order (0-based); Admit is when the persist obtained its WPQ
+// entry; Done is when the scheme acknowledged the whole memory tuple
+// as persisted (the cycle the WPQ entry unlocks); RootDone is when its
+// BMT root update actually completed. In a correct scheme RootDone
+// never exceeds Done — an acknowledgement before the root update is
+// precisely the Invariant 2 bug Config.FaultEarlyRootAck injects.
+// Epoch is the 0-based epoch index for the epoch persistency schemes
+// and 0 elsewhere.
+type PersistRecord struct {
+	Seq      uint64     `json:"seq"`
+	Block    addr.Block `json:"block"`
+	Epoch    uint64     `json:"epoch,omitempty"`
+	Admit    sim.Cycle  `json:"admit"`
+	Done     sim.Cycle  `json:"done"`
+	RootDone sim.Cycle  `json:"rootDone"`
+}
+
+// CrashLog collects every persist of a run (Config.CrashLog) plus
+// end-of-run occupancy snapshots of the persist-tracking hardware.
+// With Config.CrashAt set the snapshots are taken at the crash cycle;
+// otherwise at the run's final cycle. Recording is observational: it
+// never feeds back into the timing model, so results are bit-identical
+// with or without a log attached.
+type CrashLog struct {
+	Records []PersistRecord `json:"records"`
+
+	WPQ wpq.Snapshot  `json:"wpq"`
+	PTT *ptt.Snapshot `json:"ptt,omitempty"`
+	ETT *ett.Snapshot `json:"ett,omitempty"`
+}
+
+// Reset clears the log for reuse across runs, keeping the record
+// buffer's capacity.
+func (l *CrashLog) Reset() {
+	l.Records = l.Records[:0]
+	l.WPQ = wpq.Snapshot{}
+	l.PTT = nil
+	l.ETT = nil
+}
+
+// recordPersist appends one persist to the run's crash log. With no
+// log attached it is a nil check and nothing more.
+func (m *machine) recordPersist(blk addr.Block, epoch uint64, admit, done, rootDone sim.Cycle) {
+	l := m.cfg.CrashLog
+	if l == nil {
+		return
+	}
+	l.Records = append(l.Records, PersistRecord{
+		Seq:      uint64(len(l.Records)),
+		Block:    blk,
+		Epoch:    epoch,
+		Admit:    admit,
+		Done:     done,
+		RootDone: rootDone,
+	})
+}
+
+// crashed reports whether the core clock has passed the injected crash
+// cycle. Every persist completes no earlier than the core time at
+// which it was admitted, so once the core passes CrashAt no future
+// persist can complete by the crash instant: the run may stop early
+// without changing the crash-time persisted state. With CrashAt unset
+// this is a single comparison per loop iteration.
+func (m *machine) crashed(coreTime float64) bool {
+	return m.cfg.CrashAt != 0 && coreTime > float64(m.cfg.CrashAt)
+}
+
+// finishCrashLog takes the end-of-run hardware occupancy snapshots.
+func (m *machine) finishCrashLog(res *Result) {
+	l := m.cfg.CrashLog
+	if l == nil {
+		return
+	}
+	at := m.cfg.CrashAt
+	if at == 0 {
+		at = res.Cycles
+	}
+	l.WPQ = m.q.SnapshotAt(at)
+	if m.pttTab != nil {
+		s := m.pttTab.SnapshotAt(at)
+		l.PTT = &s
+	}
+	if m.ettSched != nil {
+		s := m.ettSched.SnapshotAt(at)
+		l.ETT = &s
+	}
+}

@@ -146,6 +146,32 @@ type Config struct {
 	// allocates.
 	Telemetry *telemetry.Sampler
 
+	// CrashAt, when non-zero, injects a power loss at the given cycle:
+	// the run stops as soon as the core clock passes it, since no
+	// persist admitted afterwards can complete by the crash instant.
+	// Timing up to the stop is untouched — with CrashAt zero the
+	// engine behaves bit-identically to a build without the hook
+	// (golden-pinned). The crash-time persisted state is reconstructed
+	// from CrashLog by internal/crash.
+	CrashAt sim.Cycle
+	// CrashLog, when non-nil, records every persist the run schedules
+	// (program order, block, epoch, WPQ admission and completion
+	// cycles) plus end-of-run WPQ/PTT/ETT occupancy snapshots.
+	// Recording is observational and never alters timing; nil costs a
+	// nil check per persist.
+	CrashLog *CrashLog
+	// FaultEarlyRootAck is a fault-injection hook for validating the
+	// crash campaign: under the sp and pipeline schemes every 7th
+	// persist acknowledges — releases its WPQ entry and reports
+	// completion — at admission time, before its BMT root update
+	// finishes. That is precisely the ordering bug the PTT exists to
+	// prevent (Invariant 2), and a crash campaign must flag it: the
+	// persist's crash log Done runs ahead of its RootDone, so a crash
+	// between the two freezes a persisted datum whose root update never
+	// reached NVM. Never set outside tests and plpcrash's
+	// -fault-early-root-ack.
+	FaultEarlyRootAck bool
+
 	NVM nvm.Config
 }
 
@@ -682,6 +708,7 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 		panic(fmt.Sprintf("engine: unknown scheme %q", cfg.Scheme))
 	}
 
+	m.finishCrashLog(&res)
 	res.Instructions = m.cfg.Instructions - cfg.Warmup
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Instructions) / float64(res.Cycles)

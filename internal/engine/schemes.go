@@ -55,6 +55,7 @@ func runSecureWB(m *machine, st *opStream, ipc float64, res *Result) {
 		done := tab.SequentialPersist(start, m.seqCost)
 		m.persistWrites(blk, done)
 		m.q.Occupy(done)
+		m.recordPersist(blk, 0, grant, done, done)
 		m.traceEvent("persist", done, uint64(blk), uint64(done-grant))
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
@@ -64,6 +65,9 @@ func runSecureWB(m *machine, st *opStream, ipc float64, res *Result) {
 	}
 
 	for st.progress() < m.cfg.Instructions {
+		if m.crashed(coreTime) {
+			break
+		}
 		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
@@ -95,6 +99,9 @@ func runUnordered(m *machine, st *opStream, ipc float64, res *Result) {
 	issue := sim.Resource{Initiation: sim.Cycle(m.cfg.BMTLevels)}
 
 	for st.progress() < m.cfg.Instructions {
+		if m.crashed(coreTime) {
+			break
+		}
 		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
@@ -122,6 +129,7 @@ func runUnordered(m *machine, st *opStream, ipc float64, res *Result) {
 		}
 		m.persistWrites(op.Block, done)
 		m.q.Occupy(done)
+		m.recordPersist(op.Block, 0, grant, done, done)
 		m.traceEvent("persist", done, uint64(op.Block), uint64(done-grant))
 		res.PersistLatency.Add(uint64(done - grant))
 		res.Persists++
@@ -129,6 +137,18 @@ func runUnordered(m *machine, st *opStream, ipc float64, res *Result) {
 		m.sample(cyc(coreTime), res)
 	}
 	res.Cycles = cyc(coreTime)
+}
+
+// faultAck implements Config.FaultEarlyRootAck: every 7th persist of
+// the sp and pipeline schemes acknowledges (releases its WPQ entry,
+// unblocking the core) at WPQ admission instead of at root completion
+// — the persist's acknowledged Done runs ahead of its RootDone in the
+// crash log. With the hook off it returns done unchanged.
+func (m *machine) faultAck(seq uint64, grant, done sim.Cycle) sim.Cycle {
+	if m.cfg.FaultEarlyRootAck && seq%7 == 3 {
+		return grant
+	}
+	return done
 }
 
 // runSP models strict persistency with the baseline 2SP mechanism:
@@ -156,6 +176,9 @@ func runSP(m *machine, st *opStream, ipc float64, res *Result) {
 	}
 
 	for st.progress() < m.cfg.Instructions {
+		if m.crashed(coreTime) {
+			break
+		}
 		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
@@ -185,12 +208,14 @@ func runSP(m *machine, st *opStream, ipc float64, res *Result) {
 		} else {
 			m.persistWrites(op.Block, done)
 		}
-		m.q.Occupy(done)
+		ack := m.faultAck(res.Persists, grant, done)
+		m.q.Occupy(ack)
 		before := coreTime
-		coreTime = maxf(coreTime, done) // strict: store blocks the core
-		m.chargeStall(before, done)
-		m.traceEvent("persist", done, uint64(op.Block), uint64(done-grant))
-		res.PersistLatency.Add(uint64(done - grant))
+		coreTime = maxf(coreTime, ack) // strict: store blocks the core
+		m.chargeStall(before, ack)
+		m.recordPersist(op.Block, 0, grant, ack, done)
+		m.traceEvent("persist", ack, uint64(op.Block), uint64(ack-grant))
+		res.PersistLatency.Add(uint64(ack - grant))
 		res.Persists++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
 		m.sample(cyc(coreTime), res)
@@ -210,6 +235,9 @@ func runPipeline(m *machine, st *opStream, ipc float64, res *Result) {
 	m.levelNode = m.nodeUpdate
 
 	for st.progress() < m.cfg.Instructions {
+		if m.crashed(coreTime) {
+			break
+		}
 		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
@@ -231,7 +259,9 @@ func runPipeline(m *machine, st *opStream, ipc float64, res *Result) {
 		m.curPath = m.pathOf(op.Block)
 		leafStart, done := tab.Persist(start, m.seqCost)
 		m.persistWrites(op.Block, done)
-		m.q.Occupy(done)
+		ack := m.faultAck(res.Persists, grant, done)
+		m.q.Occupy(ack)
+		m.recordPersist(op.Block, 0, grant, ack, done)
 		// Under strict persistency the store holds the front of the
 		// persist order until it enters the pipeline's leaf stage. The
 		// walk beyond leafStart is off the core's critical path, so
@@ -239,8 +269,8 @@ func runPipeline(m *machine, st *opStream, ipc float64, res *Result) {
 		before := coreTime
 		coreTime = maxf(coreTime, leafStart)
 		m.chargeStall(before, leafStart)
-		m.traceEvent("persist", done, uint64(op.Block), uint64(done-grant))
-		res.PersistLatency.Add(uint64(done - grant))
+		m.traceEvent("persist", ack, uint64(op.Block), uint64(ack-grant))
+		res.PersistLatency.Add(uint64(ack - grant))
 		res.Persists++
 		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
 		m.sample(cyc(coreTime), res)
@@ -335,6 +365,7 @@ func runEpoch(m *machine, st *opStream, ipc float64, res *Result) {
 		for i, blk := range blocks {
 			m.persistWrites(blk, perDone[i])
 			m.q.Occupy(perDone[i])
+			m.recordPersist(blk, res.Epochs, grant, perDone[i], perDone[i])
 			m.traceEvent("persist", perDone[i], uint64(blk), uint64(perDone[i]-grant))
 			res.PersistLatency.Add(uint64(perDone[i] - grant))
 		}
@@ -357,6 +388,9 @@ func runEpoch(m *machine, st *opStream, ipc float64, res *Result) {
 	}
 
 	for st.progress() < m.cfg.Instructions {
+		if m.crashed(coreTime) {
+			break
+		}
 		op := st.next()
 		coreTime += float64(op.Gap+1) * cpi
 		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
@@ -379,7 +413,12 @@ func runEpoch(m *machine, st *opStream, ipc float64, res *Result) {
 			flush()
 		}
 	}
-	flush()
+	if !m.crashed(coreTime) {
+		// The final partial epoch flushes only when the run completed:
+		// at a crash the buffered dirty lines are still on chip and die
+		// with the caches.
+		flush()
+	}
 	m.ar.epochCur = m.epochCur
 	res.Cycles = cyc(coreTime)
 	res.Epochs = sched.Epochs

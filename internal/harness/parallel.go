@@ -1,47 +1,18 @@
 package harness
 
 import (
-	"runtime"
 	"sync"
 
 	"plp/internal/engine"
 	"plp/internal/trace"
 )
 
-// parallel runs fn once per profile, fanning out across CPUs. Results
-// are communicated through the index: callers write into pre-sized
-// slices, so table assembly stays in benchmark order regardless of
-// completion order.
+// parallel runs fn once per profile through the shared Fan pool.
+// Results are communicated through the index: callers write into
+// pre-sized slices, so table assembly stays in benchmark order
+// regardless of completion order.
 func (r *runner) parallel(profs []trace.Profile, fn func(i int, p trace.Profile)) {
-	workers := r.o.Parallel
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(profs) {
-		workers = len(profs)
-	}
-	if workers <= 1 {
-		for i, p := range profs {
-			fn(i, p)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				fn(i, profs[i])
-			}
-		}()
-	}
-	for i := range profs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	Fan(len(profs), r.o.Parallel, func(i int) { fn(i, profs[i]) })
 }
 
 // engineRun indirects engine.Run so tests can count how many times the

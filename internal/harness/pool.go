@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Fan runs fn(i) for every i in [0, n), distributed over a worker
+// pool. workers <= 0 selects runtime.NumCPU(); a pool of one (or a
+// single item) degenerates to a sequential loop. Callers communicate
+// results through the index — writing into pre-sized slices keeps
+// assembly deterministic regardless of completion order. Fan returns
+// when every invocation has finished.
+//
+// This is the harness's sweep fan-out, exported so other drivers (the
+// crash-injection campaign) share one pool discipline.
+func Fan(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -43,23 +43,48 @@ func (r *Report) failf(format string, args ...interface{}) {
 	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
 }
 
+// Defaults applied by Config.fill, exported so front ends (plprecover)
+// and campaign configs quote the same numbers instead of restating
+// them — the fuzzer and its drivers cannot silently diverge.
+const (
+	// DefaultWrites is the persists per fuzzing schedule.
+	DefaultWrites = 64
+	// DefaultBlocks is the address range, in blocks, the fuzzer
+	// scatters persists over.
+	DefaultBlocks = 256
+	// DefaultLevels is the functional memory's BMT depth.
+	DefaultLevels = 5
+	// DefaultEpochSize is FuzzEpochOOO's persists per epoch.
+	DefaultEpochSize = 8
+)
+
 // Config bounds a fuzzing run.
 type Config struct {
-	Seed   uint64
-	Writes int // stores per schedule
-	Blocks int // address range (blocks)
-	Levels int // BMT levels for the functional memory
+	Seed uint64
+	// Writes is the number of stores per schedule (0 = DefaultWrites).
+	Writes int
+	// Blocks is the address range in blocks (0 = DefaultBlocks).
+	Blocks int
+	// Levels is the functional memory's BMT depth (0 = DefaultLevels).
+	Levels int
+	// InjectDropRoot, when non-zero, makes FuzzAtomicPersists commit
+	// the Nth persist (1-based) without its BMT root update — a
+	// deliberate Invariant 2 break the report must flag. It validates
+	// that the fuzzer detects what it claims to detect; the schedule's
+	// later full persists re-cover the tree, so exactly the injected
+	// crash point fails.
+	InjectDropRoot int
 }
 
 func (c *Config) fill() {
 	if c.Writes == 0 {
-		c.Writes = 64
+		c.Writes = DefaultWrites
 	}
 	if c.Blocks == 0 {
-		c.Blocks = 256
+		c.Blocks = DefaultBlocks
 	}
 	if c.Levels == 0 {
-		c.Levels = 5
+		c.Levels = DefaultLevels
 	}
 }
 
@@ -91,8 +116,16 @@ func FuzzAtomicPersists(cfg Config) Report {
 	for i := 0; i < cfg.Writes; i++ {
 		blk := addr.Block(r.Intn(cfg.Blocks))
 		data := randBlockData(r)
-		m.Write(blk, data)
-		m.Persist(blk)
+		if i+1 == cfg.InjectDropRoot {
+			// Injected Invariant 2 break: the tuple commits without its
+			// root update, so the crash below must fail BMT verification.
+			p := m.Prepare(blk, data)
+			m.ApplyTreeUpdate(p)
+			m.Commit(p, tuple.Complete.Without(tuple.Root))
+		} else {
+			m.Write(blk, data)
+			m.Persist(blk)
+		}
 		persisted[blk] = data
 		rep.Persists++
 
@@ -123,7 +156,7 @@ func FuzzAtomicPersists(cfg Config) Report {
 func FuzzEpochOOO(cfg Config, epochSize int) Report {
 	cfg.fill()
 	if epochSize <= 0 {
-		epochSize = 8
+		epochSize = DefaultEpochSize
 	}
 	r := xrand.New(cfg.Seed)
 	m := newMemory(cfg)

@@ -1,0 +1,102 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// CrashVersion is the crash-campaign report schema version. Readers
+// reject files with a newer version than they understand.
+const CrashVersion = 1
+
+// CrashCase is one failing crash point in serializable form: the
+// deterministic repro triple (scheme, trace seed, crash cycle) plus
+// the instruction window and the violations found there.
+type CrashCase struct {
+	Scheme       string `json:"scheme"`
+	Bench        string `json:"bench"`
+	TraceSeed    uint64 `json:"traceSeed"`
+	Instructions uint64 `json:"instructions"`
+	CrashAt      uint64 `json:"crashAt"`
+	Fault        bool   `json:"fault,omitempty"`
+
+	Guarantee  string   `json:"guarantee"`
+	Persisted  int      `json:"persisted"`
+	InFlight   int      `json:"inFlight"`
+	Violations []string `json:"violations"`
+}
+
+// CrashScheme summarizes one scheme's sweep.
+type CrashScheme struct {
+	Scheme    string `json:"scheme"`
+	Guarantee string `json:"guarantee"`
+
+	Points     int    `json:"points"`
+	Persists   int    `json:"persists"`
+	Horizon    uint64 `json:"horizon"`
+	Violations int    `json:"violations"`
+
+	Failures []CrashCase `json:"failures,omitempty"`
+}
+
+// CrashFile is one crash-campaign report: a tagged, fingerprinted set
+// of per-scheme sweeps with only the failing cases spelled out.
+type CrashFile struct {
+	Version     int         `json:"version"`
+	Tag         string      `json:"tag"`
+	CreatedAt   string      `json:"createdAt"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+
+	Bench             string `json:"bench"`
+	TraceSeed         uint64 `json:"traceSeed,omitempty"`
+	Instructions      uint64 `json:"instructions"`
+	Systematic        int    `json:"systematic"`
+	Random            int    `json:"random"`
+	Seed              uint64 `json:"seed"`
+	Levels            int    `json:"levels"`
+	FaultEarlyRootAck bool   `json:"faultEarlyRootAck,omitempty"`
+
+	Schemes []CrashScheme `json:"schemes"`
+	Clean   bool          `json:"clean"`
+}
+
+// NewCrashFile creates an empty crash report for the current
+// environment.
+func NewCrashFile(tag string) *CrashFile {
+	return &CrashFile{
+		Version:     CrashVersion,
+		Tag:         tag,
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		Fingerprint: CurrentFingerprint(),
+	}
+}
+
+// WriteCrash serializes f (indented, trailing newline) to path.
+// Scheme order is preserved as recorded (the campaign sweeps in a
+// deterministic order already).
+func WriteCrash(path string, f *CrashFile) error {
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("registry: marshal crash report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCrash reads and validates a crash report.
+func LoadCrash(path string) (*CrashFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	var f CrashFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("registry: parse %s: %w", path, err)
+	}
+	if f.Version > CrashVersion {
+		return nil, fmt.Errorf("registry: %s has crash schema version %d, this build understands <= %d",
+			path, f.Version, CrashVersion)
+	}
+	return &f, nil
+}
