@@ -1,280 +1,161 @@
-// Command plpserve exposes a running sweep over HTTP: it kicks off a
-// harness recording sweep in the background and serves each run's
-// telemetry time series live while the simulators execute — plus the
-// standard Go observability endpoints (expvar at /debug/vars, pprof
-// at /debug/pprof/) for watching the *simulator process* itself.
+// Command plpserve is the simulation job service: a JSON HTTP API over
+// an asynchronous job queue (internal/jobs) running recording sweeps,
+// reproduced experiments, and crash-injection campaigns, with live
+// telemetry while the simulators execute — plus the standard Go
+// observability endpoints (expvar at /debug/vars, pprof at
+// /debug/pprof/) for watching the *simulator process* itself.
 //
-// Endpoints:
+// Job API:
+//
+//	POST   /jobs              submit a job spec; 202 + Location,
+//	                          400 invalid, 429 queue full, 503 draining
+//	GET    /jobs              list all jobs with status
+//	GET    /jobs/{id}         one job's status (?telemetry=1 embeds series)
+//	DELETE /jobs/{id}         cancel; 404 unknown, 409 already finished
+//	GET    /jobs/{id}/result  finished payload; 409 while running
+//	GET    /healthz           liveness
+//
+// Legacy live view (fed by whatever sweep jobs run):
 //
 //	/                        minimal HTML sparkline view of all runs
 //	/runs                    JSON list of runs (sorted) with status
 //	/timeseries?scheme=&bench=   one run's telemetry series as JSON
-//	/debug/vars              expvar (includes plp_* counters)
-//	/debug/pprof/            net/http/pprof
+//
+// SIGTERM/SIGINT drain gracefully: intake stops (new submissions get
+// 503), queued and running jobs finish, then the process exits. A
+// second signal — or the -drain-timeout deadline — cancels the
+// remaining jobs instead of waiting them out.
 //
 // Usage:
 //
-//	plpserve -addr :8090 -instr 50000000
-//	plpserve -benches gamess,gcc -schemes sp,pipeline,coalescing -interval 32768
+//	plpserve -addr :8090
+//	plpserve -sweep -instr 50000000 -benches gamess,gcc -o sweep.json
+//	curl -s localhost:8090/jobs -d '{"kind":"sweep","benches":["gcc"]}'
 package main
 
 import (
-	"encoding/json"
-	"expvar"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"sort"
+	"os/signal"
 	"strings"
-	"sync"
+	"syscall"
+	"time"
 
-	"plp/internal/engine"
-	"plp/internal/harness"
+	"plp/internal/jobs"
 	"plp/internal/registry"
-	"plp/internal/sim"
-	"plp/internal/telemetry"
 )
-
-var (
-	runsStarted   = expvar.NewInt("plp_runs_started")
-	runsCompleted = expvar.NewInt("plp_runs_completed")
-	sweepsDone    = expvar.NewInt("plp_sweeps_completed")
-)
-
-// liveRun is one (scheme, bench) run's live view: the sampler streams
-// while the run executes; final holds the finished registry record.
-type liveRun struct {
-	Scheme  string
-	Bench   string
-	sampler *telemetry.Sampler
-	final   *registry.Run
-}
-
-// store indexes live runs; all access is mutex-guarded because the
-// fan-out workers register runs while HTTP handlers read them.
-type store struct {
-	mu   sync.Mutex
-	runs map[string]*liveRun
-	done bool
-}
-
-func newStore() *store { return &store{runs: make(map[string]*liveRun)} }
-
-func (s *store) register(scheme engine.Scheme, bench string, sampler *telemetry.Sampler) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.runs[string(scheme)+"/"+bench] = &liveRun{
-		Scheme: string(scheme), Bench: bench, sampler: sampler,
-	}
-	runsStarted.Add(1)
-}
-
-func (s *store) finish(runs []registry.Run) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range runs {
-		r := &runs[i]
-		lr, ok := s.runs[r.Key()]
-		if !ok {
-			lr = &liveRun{Scheme: r.Scheme, Bench: r.Bench}
-			s.runs[r.Key()] = lr
-		}
-		lr.final = r
-		runsCompleted.Add(1)
-	}
-	s.done = true
-	sweepsDone.Add(1)
-}
-
-// get returns the run's live view, or nil.
-func (s *store) get(scheme, bench string) *liveRun {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.runs[scheme+"/"+bench]
-}
-
-// runStatus is one row of the /runs listing.
-type runStatus struct {
-	Scheme string `json:"scheme"`
-	Bench  string `json:"bench"`
-	Done   bool   `json:"done"`
-	Cycles uint64 `json:"cycles,omitempty"`
-}
-
-// list returns all runs sorted by (bench, scheme) — keys are sorted
-// before ranging over the map so output order is deterministic.
-func (s *store) list() []runStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.runs))
-	for k := range s.runs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]runStatus, 0, len(keys))
-	for _, k := range keys {
-		lr := s.runs[k]
-		st := runStatus{Scheme: lr.Scheme, Bench: lr.Bench, Done: lr.final != nil}
-		if lr.final != nil {
-			st.Cycles = lr.final.Cycles
-		}
-		out = append(out, st)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bench != out[j].Bench {
-			return out[i].Bench < out[j].Bench
-		}
-		return out[i].Scheme < out[j].Scheme
-	})
-	return out
-}
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8090", "HTTP listen address")
-		instr    = flag.Uint64("instr", 10_000_000, "instructions per benchmark run")
-		benches  = flag.String("benches", "", "comma-separated benchmark subset (default all 15)")
-		schemes  = flag.String("schemes", "", "comma-separated scheme subset (default the six evaluated)")
-		full     = flag.Bool("full", false, "full-memory protection")
-		interval = flag.Uint64("interval", 0, "telemetry window width in cycles (0 = default)")
-		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-		out      = flag.String("o", "", "also write the finished sweep to this registry file")
+		workers  = flag.Int("workers", 2, "concurrent jobs")
+		queue    = flag.Int("queue", 16, "job queue depth (submissions beyond it get 429)")
+		parallel = flag.Int("parallel", 0, "per-job sweep worker goroutines (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0 = unbounded)")
+		drainT   = flag.Duration("drain-timeout", 2*time.Minute, "max graceful-drain wait on shutdown")
+
+		sweep    = flag.Bool("sweep", false, "submit an initial recording sweep job on startup")
+		instr    = flag.Uint64("instr", 10_000_000, "initial sweep: instructions per benchmark run")
+		benches  = flag.String("benches", "", "initial sweep: comma-separated benchmark subset (default all 15)")
+		schemes  = flag.String("schemes", "", "initial sweep: comma-separated scheme subset (default the six evaluated)")
+		full     = flag.Bool("full", false, "initial sweep: full-memory protection")
+		interval = flag.Uint64("interval", 0, "initial sweep: telemetry window width in cycles (0 = default)")
+		out      = flag.String("o", "", "initial sweep: also write the finished sweep to this registry file")
 	)
 	flag.Parse()
 
 	st := newStore()
-	o := harness.RecordOptions{
-		Options: harness.Options{
-			Instructions: *instr,
-			FullMemory:   *full,
-			Parallel:     *parallel,
-		},
-		Interval: sim.Cycle(*interval),
-		Observe:  st.register,
-	}
-	if *benches != "" {
-		o.Benches = strings.Split(*benches, ",")
-	}
-	if *schemes != "" {
-		for _, s := range strings.Split(*schemes, ",") {
-			o.Schemes = append(o.Schemes, engine.Scheme(s))
-		}
-	}
-
-	go func() {
-		runs := harness.Record(o)
-		st.finish(runs)
-		if *out != "" {
-			f := registry.New("serve", *instr, *full)
-			f.Runs = runs
-			if err := registry.Write(*out, f); err != nil {
+	var initialID string
+	svc := jobs.New(jobs.Config{
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		RunParallel:    *parallel,
+		DefaultTimeout: *timeout,
+		Observe:        st.register,
+		OnFinish: func(j *jobs.Job) {
+			st.finish(j)
+			if j.ID() != initialID || *out == "" {
+				return
+			}
+			res := j.Result()
+			if res == nil || res.Sweep == nil {
+				fmt.Fprintf(os.Stderr, "plpserve: initial sweep %s, not writing %s\n", j.State(), *out)
+				return
+			}
+			if err := registry.Write(*out, res.Sweep); err != nil {
 				fmt.Fprintf(os.Stderr, "plpserve: %v\n", err)
 			} else {
 				fmt.Printf("plpserve: sweep written to %s\n", *out)
 			}
-		}
-		fmt.Printf("plpserve: sweep complete (%d runs); still serving on %s\n", len(runs), *addr)
-	}()
-
-	http.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		st.mu.Lock()
-		done := st.done
-		st.mu.Unlock()
-		json.NewEncoder(w).Encode(map[string]interface{}{
-			"sweepDone": done,
-			"runs":      st.list(),
-		})
+		},
 	})
 
-	http.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
-		scheme, bench := r.URL.Query().Get("scheme"), r.URL.Query().Get("bench")
-		lr := st.get(scheme, bench)
-		if lr == nil {
-			http.Error(w, "unknown run (see /runs)", http.StatusNotFound)
-			return
+	if *sweep || *out != "" {
+		spec := jobs.Spec{
+			Kind:         jobs.KindSweep,
+			Instructions: *instr,
+			FullMemory:   *full,
+			Interval:     *interval,
 		}
-		resp := struct {
-			Scheme string            `json:"scheme"`
-			Bench  string            `json:"bench"`
-			Done   bool              `json:"done"`
-			Cycles uint64            `json:"cycles,omitempty"`
-			Series *telemetry.Series `json:"series"`
-		}{Scheme: lr.Scheme, Bench: lr.Bench, Done: lr.final != nil}
-		if lr.final != nil {
-			resp.Cycles = lr.final.Cycles
-			resp.Series = lr.final.Telemetry
-		} else if lr.sampler != nil {
-			snap := lr.sampler.Snapshot()
-			resp.Series = &snap
+		if *benches != "" {
+			spec.Benches = strings.Split(*benches, ",")
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
-	})
+		if *schemes != "" {
+			spec.Schemes = strings.Split(*schemes, ",")
+		}
+		j, err := svc.Submit(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plpserve: initial sweep: %v\n", err)
+			os.Exit(1)
+		}
+		initialID = j.ID()
+		fmt.Printf("plpserve: initial sweep submitted as job %s (%d instructions/run)\n", j.ID(), *instr)
+	}
 
-	http.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, indexHTML)
-	})
+	srv := &http.Server{Addr: *addr, Handler: withDebug((&server{svc: svc, st: st}).handler())}
 
-	fmt.Printf("plpserve: listening on %s (sweep: %d instructions/run)\n", *addr, *instr)
-	if err := http.ListenAndServe(*addr, nil); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("plpserve: listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "plpserve: %v\n", err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills the process the default way
+	fmt.Println("plpserve: draining (signal again to force exit)")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "plpserve: drain: %v (remaining jobs cancelled)\n", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "plpserve: shutdown: %v\n", err)
+	}
+	fmt.Println("plpserve: drained, exiting")
 }
 
-// indexHTML is the minimal sparkline view: one row per run, polling
-// /timeseries and drawing per-window persists (line) and WPQ max
-// occupancy (filled area) as inline SVG.
-const indexHTML = `<!doctype html>
-<meta charset="utf-8">
-<title>plpserve — live telemetry</title>
-<style>
- body{font:13px/1.4 system-ui,sans-serif;margin:20px;max-width:1100px}
- h1{font-size:16px} .run{margin:4px 0;display:flex;align-items:center;gap:8px}
- .key{width:220px;font-family:monospace} svg{background:#f6f6f6;border:1px solid #ddd}
- .pend{color:#999} .done{color:#2a7}
-</style>
-<h1>plpserve — live telemetry (persists/window, WPQ max occupancy)</h1>
-<div id="runs"></div>
-<script>
-async function draw(){
-  const {runs, sweepDone} = await (await fetch('/runs')).json();
-  const root = document.getElementById('runs');
-  for (const run of runs){
-    const id = run.scheme + '/' + run.bench;
-    let row = document.getElementById(id);
-    if (!row){
-      row = document.createElement('div'); row.className='run'; row.id=id;
-      row.innerHTML = '<span class="key"></span><svg width="600" height="40"></svg><span class="st"></span>';
-      root.appendChild(row);
-    }
-    row.querySelector('.key').textContent = id;
-    const st = row.querySelector('.st');
-    st.textContent = run.done ? ('done, '+run.cycles+' cycles') : 'running';
-    st.className = 'st ' + (run.done ? 'done' : 'pend');
-    const ts = await (await fetch('/timeseries?scheme='+run.scheme+'&bench='+run.bench)).json();
-    const ws = (ts.series && ts.series.windows) || [];
-    if (!ws.length) continue;
-    const svg = row.querySelector('svg'), W=600, H=40;
-    const maxP = Math.max(1, ...ws.map(w=>w.persists));
-    const maxQ = Math.max(1, ...ws.map(w=>w.wpqMax));
-    const x = i => i*W/Math.max(1,ws.length-1);
-    const occ = ws.map((w,i)=>x(i)+','+(H - w.wpqMax*H/maxQ)).join(' ');
-    const per = ws.map((w,i)=>x(i)+','+(H - w.persists*H/maxP)).join(' ');
-    svg.innerHTML =
-      '<polygon points="0,'+H+' '+occ+' '+W+','+H+'" fill="#cde" stroke="none"/>' +
-      '<polyline points="'+per+'" fill="none" stroke="#36c" stroke-width="1.5"/>';
-  }
-  if (!sweepDone) setTimeout(draw, 1000);
+// withDebug layers the default mux's debug endpoints (expvar, pprof —
+// both register on http.DefaultServeMux via side effect) under /debug/
+// while everything else goes to the API mux.
+func withDebug(api http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/debug/") {
+			http.DefaultServeMux.ServeHTTP(w, r)
+			return
+		}
+		api.ServeHTTP(w, r)
+	})
 }
-draw();
-</script>
-`

@@ -1,0 +1,348 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"plp/internal/engine"
+	"plp/internal/jobs"
+	"plp/internal/registry"
+	"plp/internal/telemetry"
+)
+
+var (
+	runsStarted   = expvar.NewInt("plp_runs_started")
+	runsCompleted = expvar.NewInt("plp_runs_completed")
+	sweepsDone    = expvar.NewInt("plp_sweeps_completed")
+	jobsSubmitted = expvar.NewInt("plp_jobs_submitted")
+	jobsRejected  = expvar.NewInt("plp_jobs_rejected")
+)
+
+// liveRun is one (scheme, bench) run's live view for the legacy
+// sparkline endpoints: the sampler streams while the run executes;
+// final holds the finished registry record.
+type liveRun struct {
+	Scheme  string
+	Bench   string
+	sampler *telemetry.Sampler
+	final   *registry.Run
+}
+
+// store indexes live runs across all jobs, keyed scheme/bench (a later
+// job's run of the same pair supersedes the earlier one in the view).
+// All access is mutex-guarded because job workers register runs while
+// HTTP handlers read them.
+type store struct {
+	mu   sync.Mutex
+	runs map[string]*liveRun
+}
+
+func newStore() *store { return &store{runs: make(map[string]*liveRun)} }
+
+// register is wired to jobs.Config.Observe: every engine run any job
+// starts lands here.
+func (s *store) register(_ string, scheme engine.Scheme, bench string, sampler *telemetry.Sampler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs[string(scheme)+"/"+bench] = &liveRun{
+		Scheme: string(scheme), Bench: bench, sampler: sampler,
+	}
+	runsStarted.Add(1)
+}
+
+// finish is wired to jobs.Config.OnFinish: a succeeded sweep job's
+// final runs replace their live views.
+func (s *store) finish(j *jobs.Job) {
+	res := j.Result()
+	if res == nil || res.Sweep == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range res.Sweep.Runs {
+		r := &res.Sweep.Runs[i]
+		lr, ok := s.runs[r.Key()]
+		if !ok {
+			lr = &liveRun{Scheme: r.Scheme, Bench: r.Bench}
+			s.runs[r.Key()] = lr
+		}
+		lr.final = r
+		runsCompleted.Add(1)
+	}
+	sweepsDone.Add(1)
+}
+
+// get returns the run's live view, or nil.
+func (s *store) get(scheme, bench string) *liveRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[scheme+"/"+bench]
+}
+
+// runStatus is one row of the /runs listing.
+type runStatus struct {
+	Scheme string `json:"scheme"`
+	Bench  string `json:"bench"`
+	Done   bool   `json:"done"`
+	Cycles uint64 `json:"cycles,omitempty"`
+}
+
+// list returns all runs sorted by (bench, scheme).
+func (s *store) list() []runStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]runStatus, 0, len(s.runs))
+	for _, lr := range s.runs {
+		st := runStatus{Scheme: lr.Scheme, Bench: lr.Bench, Done: lr.final != nil}
+		if lr.final != nil {
+			st.Cycles = lr.final.Cycles
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Scheme < out[j].Scheme
+	})
+	return out
+}
+
+// server binds the job service and the live-run store to the HTTP API.
+type server struct {
+	svc *jobs.Service
+	st  *store
+}
+
+// jsonError writes a {"error": ...} body with the given status.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handler builds the ServeMux: the job API (the service's public
+// face), the legacy live-telemetry endpoints, and health.
+func (s *server) handler() *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", s.submitJob)
+	mux.HandleFunc("GET /jobs", s.listJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.getJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.cancelJob)
+	mux.HandleFunc("GET /jobs/{id}/result", s.jobResult)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("GET /runs", s.legacyRuns)
+	mux.HandleFunc("GET /timeseries", s.legacyTimeseries)
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, indexHTML)
+	})
+	return mux
+}
+
+// submitJob accepts a jobs.Spec and enqueues it: 202 with the job's
+// status and a Location header, 400 on an invalid spec, 429 when the
+// queue is full (load shedding), 503 while draining for shutdown.
+func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j, err := s.svc.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrInvalidSpec):
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrQueueFull):
+		jobsRejected.Add(1)
+		w.Header().Set("Retry-After", "5")
+		jsonError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	jobsSubmitted.Add(1)
+	w.Header().Set("Location", "/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, j.Status(false))
+}
+
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	js := s.svc.List()
+	out := make([]jobs.Status, 0, len(js))
+	for _, j := range js {
+		out = append(out, j.Status(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.svc.Get(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	withTelemetry := r.URL.Query().Get("telemetry") == "1"
+	writeJSON(w, http.StatusOK, j.Status(withTelemetry))
+}
+
+// cancelJob requests cancellation: 202 with the (possibly already
+// terminal) status, 404 for an unknown ID, 409 for a job that already
+// succeeded or failed.
+func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := s.svc.Cancel(id)
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrNotFound):
+		jsonError(w, http.StatusNotFound, "no such job")
+		return
+	case errors.Is(err, jobs.ErrFinished):
+		jsonError(w, http.StatusConflict, "job already finished")
+		return
+	default:
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	j, _ := s.svc.Get(id)
+	writeJSON(w, http.StatusAccepted, j.Status(false))
+}
+
+// jobResult serves the finished payload: 200 with the registry-form
+// result for a succeeded job, 409 while it is still queued/running or
+// when it finished without a result (failed, canceled), 404 unknown.
+func (s *server) jobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.svc.Get(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.State()
+	if !st.Terminal() {
+		jsonError(w, http.StatusConflict, "job %s is %s; poll /jobs/%s until it finishes", j.ID(), st, j.ID())
+		return
+	}
+	res := j.Result()
+	if res == nil {
+		jsonError(w, http.StatusConflict, "job %s %s without a result: %s", j.ID(), st, j.Status(false).Error)
+		return
+	}
+	data, err := registry.MarshalJobResult(res)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *server) legacyRuns(w http.ResponseWriter, r *http.Request) {
+	// sweepDone mirrors the pre-job-service contract: true once no
+	// sweep job is queued or running (the sparkline view stops polling).
+	active := false
+	for _, j := range s.svc.List() {
+		if j.Spec().Kind == jobs.KindSweep && !j.State().Terminal() {
+			active = true
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sweepDone": !active,
+		"runs":      s.st.list(),
+	})
+}
+
+func (s *server) legacyTimeseries(w http.ResponseWriter, r *http.Request) {
+	scheme, bench := r.URL.Query().Get("scheme"), r.URL.Query().Get("bench")
+	lr := s.st.get(scheme, bench)
+	if lr == nil {
+		jsonError(w, http.StatusNotFound, "unknown run (see /runs)")
+		return
+	}
+	resp := struct {
+		Scheme string            `json:"scheme"`
+		Bench  string            `json:"bench"`
+		Done   bool              `json:"done"`
+		Cycles uint64            `json:"cycles,omitempty"`
+		Series *telemetry.Series `json:"series"`
+	}{Scheme: lr.Scheme, Bench: lr.Bench, Done: lr.final != nil}
+	if lr.final != nil {
+		resp.Cycles = lr.final.Cycles
+		resp.Series = lr.final.Telemetry
+	} else if lr.sampler != nil {
+		snap := lr.sampler.Snapshot()
+		resp.Series = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// indexHTML is the minimal sparkline view: one row per run, polling
+// /timeseries and drawing per-window persists (line) and WPQ max
+// occupancy (filled area) as inline SVG.
+const indexHTML = `<!doctype html>
+<meta charset="utf-8">
+<title>plpserve — live telemetry</title>
+<style>
+ body{font:13px/1.4 system-ui,sans-serif;margin:20px;max-width:1100px}
+ h1{font-size:16px} .run{margin:4px 0;display:flex;align-items:center;gap:8px}
+ .key{width:220px;font-family:monospace} svg{background:#f6f6f6;border:1px solid #ddd}
+ .pend{color:#999} .done{color:#2a7}
+</style>
+<h1>plpserve — live telemetry (persists/window, WPQ max occupancy)</h1>
+<div id="runs"></div>
+<script>
+async function draw(){
+  const {runs, sweepDone} = await (await fetch('/runs')).json();
+  const root = document.getElementById('runs');
+  for (const run of runs){
+    const id = run.scheme + '/' + run.bench;
+    let row = document.getElementById(id);
+    if (!row){
+      row = document.createElement('div'); row.className='run'; row.id=id;
+      row.innerHTML = '<span class="key"></span><svg width="600" height="40"></svg><span class="st"></span>';
+      root.appendChild(row);
+    }
+    row.querySelector('.key').textContent = id;
+    const st = row.querySelector('.st');
+    st.textContent = run.done ? ('done, '+run.cycles+' cycles') : 'running';
+    st.className = 'st ' + (run.done ? 'done' : 'pend');
+    const ts = await (await fetch('/timeseries?scheme='+run.scheme+'&bench='+run.bench)).json();
+    const ws = (ts.series && ts.series.windows) || [];
+    if (!ws.length) continue;
+    const svg = row.querySelector('svg'), W=600, H=40;
+    const maxP = Math.max(1, ...ws.map(w=>w.persists));
+    const maxQ = Math.max(1, ...ws.map(w=>w.wpqMax));
+    const x = i => i*W/Math.max(1,ws.length-1);
+    const occ = ws.map((w,i)=>x(i)+','+(H - w.wpqMax*H/maxQ)).join(' ');
+    const per = ws.map((w,i)=>x(i)+','+(H - w.persists*H/maxP)).join(' ');
+    svg.innerHTML =
+      '<polygon points="0,'+H+' '+occ+' '+W+','+H+'" fill="#cde" stroke="none"/>' +
+      '<polyline points="'+per+'" fill="none" stroke="#36c" stroke-width="1.5"/>';
+  }
+  if (!sweepDone) setTimeout(draw, 1000);
+}
+draw();
+</script>
+`

@@ -25,10 +25,17 @@ func ExampleNewMemory() {
 	// Output: true durable greetings
 }
 
-// ExampleSimulate runs one benchmark under the coalescing scheme.
-func ExampleSimulate() {
-	prof, _ := plp.BenchmarkByName("gamess")
-	res := plp.Simulate(plp.SimConfig{Scheme: plp.Coalescing, Instructions: 100_000}, prof)
+// ExampleNewSession runs one benchmark under the coalescing scheme.
+func ExampleNewSession() {
+	s, err := plp.NewSession(
+		plp.WithBenchmark("gamess"),
+		plp.WithScheme(plp.Coalescing),
+		plp.WithInstructions(100_000),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, _ := s.Run()
 	fmt.Println(res.Scheme, res.Bench, res.Persists > 0, res.Epochs > 0)
 	// Output: coalescing gamess true true
 }

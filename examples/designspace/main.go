@@ -25,7 +25,7 @@ func main() {
 	}
 
 	const instr = 2_000_000
-	base := plp.Simulate(plp.SimConfig{Scheme: plp.SecureWB, Instructions: instr}, prof)
+	base := simulate(prof, plp.SimConfig{Scheme: plp.SecureWB, Instructions: instr})
 	fmt.Printf("workload %s: baseline (no persistency) IPC %.3f\n\n", prof.Name, base.IPC)
 
 	epochSizes := []int{8, 16, 32, 64, 128}
@@ -46,12 +46,12 @@ func main() {
 	for _, es := range epochSizes {
 		fmt.Printf("%-8d", es)
 		for _, w := range wpqSizes {
-			res := plp.Simulate(plp.SimConfig{
+			res := simulate(prof, plp.SimConfig{
 				Scheme:       plp.Coalescing,
 				Instructions: instr,
 				EpochSize:    es,
 				WPQEntries:   w,
-			}, prof)
+			})
 			norm := float64(res.Cycles) / float64(base.Cycles)
 			fmt.Printf("%8.3f", norm)
 			p := point{es, w, norm}
@@ -77,4 +77,17 @@ func main() {
 		fmt.Println(" small WPQs are cheaper persistent hardware — the sweep shows")
 		fmt.Println(" what each costs for this workload.)")
 	}
+}
+
+// simulate runs one configuration through the session facade.
+func simulate(prof plp.Profile, cfg plp.SimConfig) plp.SimResult {
+	s, err := plp.NewSession(plp.WithConfig(cfg), plp.WithProfile(prof))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }

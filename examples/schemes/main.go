@@ -25,7 +25,7 @@ func main() {
 	}
 
 	const instr = 5_000_000
-	base := plp.Simulate(plp.SimConfig{Scheme: plp.SecureWB, Instructions: instr}, prof)
+	base := runScheme(prof, plp.SecureWB, instr)
 	fmt.Printf("workload %s: %d instructions, baseline (secure_WB) IPC %.3f\n\n",
 		prof.Name, instr, base.IPC)
 	fmt.Printf("%-11s %-12s %-10s %-8s %s\n", "scheme", "cycles", "normalized", "PPKI", "notes")
@@ -45,7 +45,7 @@ func main() {
 		{plp.Colocated, "prior work: co-located data+ctr+MAC, BMT still sequential (§II)"},
 	}
 	for _, r := range rows {
-		res := plp.Simulate(plp.SimConfig{Scheme: r.scheme, Instructions: instr}, prof)
+		res := runScheme(prof, r.scheme, instr)
 		norm := float64(res.Cycles) / float64(base.Cycles)
 		extra := ""
 		if r.scheme == plp.Coalescing {
@@ -59,4 +59,21 @@ func main() {
 	fmt.Println("is ruinous; pipelining recovers most of it under strict persistency;")
 	fmt.Println("epoch persistency with OOO + coalescing gets within ~20% of the")
 	fmt.Println("no-persistency baseline while remaining crash recoverable.")
+}
+
+// runScheme runs one scheme through the session facade.
+func runScheme(prof plp.Profile, scheme plp.Scheme, instr uint64) plp.SimResult {
+	s, err := plp.NewSession(
+		plp.WithProfile(prof),
+		plp.WithScheme(scheme),
+		plp.WithInstructions(instr),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }

@@ -146,6 +146,17 @@ type Config struct {
 	// allocates.
 	Telemetry *telemetry.Sampler
 
+	// Cancel, when non-nil, is a cooperative cancellation hook: the run
+	// polls it once every cancelPollOps operations and stops early when
+	// it returns true, abandoning the remainder of the trace. Polling
+	// neither reads nor writes timing state, so an installed hook that
+	// never fires leaves the run bit-identical to one without
+	// (equivalence-pinned), and nil costs one pointer check per
+	// operation. A cancelled run's partial Result is not meaningful;
+	// callers (internal/jobs, the plp facade) discard it and surface
+	// the context error instead.
+	Cancel func() bool
+
 	// CrashAt, when non-zero, injects a power loss at the given cycle:
 	// the run stops as soon as the core clock passes it, since no
 	// persist admitted afterwards can complete by the crash instant.
@@ -358,6 +369,13 @@ type machine struct {
 	pttTab      *ptt.Table
 	ettSched    *ett.Scheduler
 	probeStalls []float64 // reusable cumulative stall buffer
+
+	// Cooperative cancellation (Config.Cancel): cancelLeft counts ops
+	// down to the next poll; cancelStop latches a fired hook so the
+	// run's tail (the epoch schemes' final flush) knows the stop was a
+	// cancellation, not a completed trace.
+	cancelLeft int
+	cancelStop bool
 }
 
 // mergeWindow approximates write-queue residency for write merging.
@@ -410,6 +428,9 @@ func newMachine(cfg Config) *machine {
 	}
 	if cfg.Telemetry != nil {
 		m.probeStalls = make([]float64, NumComponents)
+	}
+	if cfg.Cancel != nil {
+		m.cancelLeft = cancelPollOps
 	}
 	return m
 }

@@ -65,7 +65,7 @@ func runSecureWB(m *machine, st *opStream, ipc float64, res *Result) {
 	}
 
 	for st.progress() < m.cfg.Instructions {
-		if m.crashed(coreTime) {
+		if m.stopNow(coreTime) {
 			break
 		}
 		op := st.next()
@@ -99,7 +99,7 @@ func runUnordered(m *machine, st *opStream, ipc float64, res *Result) {
 	issue := sim.Resource{Initiation: sim.Cycle(m.cfg.BMTLevels)}
 
 	for st.progress() < m.cfg.Instructions {
-		if m.crashed(coreTime) {
+		if m.stopNow(coreTime) {
 			break
 		}
 		op := st.next()
@@ -176,7 +176,7 @@ func runSP(m *machine, st *opStream, ipc float64, res *Result) {
 	}
 
 	for st.progress() < m.cfg.Instructions {
-		if m.crashed(coreTime) {
+		if m.stopNow(coreTime) {
 			break
 		}
 		op := st.next()
@@ -235,7 +235,7 @@ func runPipeline(m *machine, st *opStream, ipc float64, res *Result) {
 	m.levelNode = m.nodeUpdate
 
 	for st.progress() < m.cfg.Instructions {
-		if m.crashed(coreTime) {
+		if m.stopNow(coreTime) {
 			break
 		}
 		op := st.next()
@@ -388,7 +388,7 @@ func runEpoch(m *machine, st *opStream, ipc float64, res *Result) {
 	}
 
 	for st.progress() < m.cfg.Instructions {
-		if m.crashed(coreTime) {
+		if m.stopNow(coreTime) {
 			break
 		}
 		op := st.next()
@@ -413,10 +413,10 @@ func runEpoch(m *machine, st *opStream, ipc float64, res *Result) {
 			flush()
 		}
 	}
-	if !m.crashed(coreTime) {
+	if !m.crashed(coreTime) && !m.cancelStop {
 		// The final partial epoch flushes only when the run completed:
 		// at a crash the buffered dirty lines are still on chip and die
-		// with the caches.
+		// with the caches, and a cancelled run abandons its tail.
 		flush()
 	}
 	m.ar.epochCur = m.epochCur

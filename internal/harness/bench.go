@@ -1,13 +1,13 @@
 package harness
 
 import (
+	"context"
 	"time"
 
 	"plp/internal/engine"
 	"plp/internal/registry"
 	"plp/internal/sim"
 	"plp/internal/telemetry"
-	"plp/internal/trace"
 )
 
 // RecordOptions bounds one registry recording sweep.
@@ -33,6 +33,24 @@ type RecordOptions struct {
 // pre-sized slot, so the merge is race-free by construction (verified
 // with -race in the tests).
 func Record(o RecordOptions) []registry.Run {
+	runs, _ := RecordContext(context.Background(), o)
+	return runs
+}
+
+// RecordContext is Record with cooperative cancellation: ctx gates the
+// fan-out dispatch (no new run starts once ctx is done) and, for a
+// cancellable context, threads into every engine run via Config.Cancel
+// so even a multi-second run stops within microseconds of ctx firing.
+// It returns the runs that completed before cancellation — runs cut
+// short mid-flight are discarded, never reported — together with
+// ctx.Err(). A background context reproduces Record exactly: no hook
+// is installed and the results are bit-identical (equivalence-tested).
+func RecordContext(ctx context.Context, o RecordOptions) ([]registry.Run, error) {
+	if cancel := ctxCancel(ctx); cancel != nil {
+		// One shared hook: Options.Cancel flows through runner.cfg into
+		// every scheduled engine run.
+		o.Cancel = cancel
+	}
 	r := newRunner(o.Options)
 	schemes := o.Schemes
 	if len(schemes) == 0 {
@@ -40,8 +58,12 @@ func Record(o RecordOptions) []registry.Run {
 	}
 	profs := r.o.profiles()
 	runs := make([]registry.Run, len(profs)*len(schemes))
-	r.parallel(profs, func(i int, p trace.Profile) {
+	err := FanCtx(ctx, len(profs), r.o.Parallel, func(i int) {
+		p := profs[i]
 		for si, s := range schemes {
+			if ctx.Err() != nil {
+				return
+			}
 			cfg := r.cfg(s)
 			var sampler *telemetry.Sampler
 			if !o.NoTelemetry {
@@ -54,6 +76,11 @@ func Record(o RecordOptions) []registry.Run {
 			start := time.Now()
 			res := run(cfg, p)
 			wall := time.Since(start)
+			if ctx.Err() != nil {
+				// The run was (or may have been) cut short: its numbers
+				// are not a real simulation result.
+				return
+			}
 			var series *telemetry.Series
 			if sampler != nil {
 				snap := sampler.Snapshot()
@@ -64,5 +91,26 @@ func Record(o RecordOptions) []registry.Run {
 			runs[i*len(schemes)+si] = rec
 		}
 	})
-	return runs
+	if err != nil {
+		// Compact away the slots of runs that never completed.
+		kept := runs[:0]
+		for _, rec := range runs {
+			if rec.Scheme != "" {
+				kept = append(kept, rec)
+			}
+		}
+		runs = kept
+	}
+	return runs, err
+}
+
+// ctxCancel adapts ctx to an engine Config.Cancel hook, or nil for a
+// context that can never be cancelled (ctx.Err() is then a pure
+// function returning nil, and installing a hook would only cost the
+// golden path its bit-identical no-hook equivalence).
+func ctxCancel(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }

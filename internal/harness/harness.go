@@ -28,6 +28,14 @@ type Options struct {
 	FullMemory bool
 	// Parallel caps worker goroutines (0 = GOMAXPROCS).
 	Parallel int
+	// Cancel, when non-nil, threads into every engine run the drivers
+	// schedule through the shared runner (engine Config.Cancel): the
+	// cooperative stop the job service uses to abandon an experiment
+	// mid-run. A cancelled driver still returns its Experiment, but the
+	// partial numbers are meaningless — callers that set Cancel must
+	// discard the result once the hook has fired. Nil (the default)
+	// leaves every run bit-identical to the unhooked engine.
+	Cancel func() bool
 }
 
 func (o *Options) fill() {
@@ -114,6 +122,7 @@ func (r *runner) cfg(s engine.Scheme) engine.Config {
 		Scheme:       s,
 		Instructions: r.o.Instructions,
 		FullMemory:   r.o.FullMemory,
+		Cancel:       r.o.Cancel,
 	}
 }
 
@@ -165,13 +174,13 @@ func TableV(o Options) *Experiment {
 	rows := make([][]float64, len(profs))
 	r.parallel(profs, func(i int, p trace.Profile) {
 		spFull := run(engine.Config{Scheme: engine.SchemeSP,
-			Instructions: r.o.Instructions, FullMemory: true}, p)
+			Instructions: r.o.Instructions, FullMemory: true, Cancel: r.o.Cancel}, p)
 		wbFull := run(engine.Config{Scheme: engine.SchemeSecureWB,
-			Instructions: r.o.Instructions, FullMemory: true}, p)
+			Instructions: r.o.Instructions, FullMemory: true, Cancel: r.o.Cancel}, p)
 		sp := run(engine.Config{Scheme: engine.SchemeSP,
-			Instructions: r.o.Instructions}, p)
+			Instructions: r.o.Instructions, Cancel: r.o.Cancel}, p)
 		o3 := run(engine.Config{Scheme: engine.SchemeO3,
-			Instructions: r.o.Instructions}, p)
+			Instructions: r.o.Instructions, Cancel: r.o.Cancel}, p)
 		rows[i] = []float64{spFull.PPKI, p.Paper.SpFull, wbFull.PPKI, p.Paper.WBFull,
 			sp.PPKI, p.Paper.Sp, o3.PPKI, p.Paper.O3}
 	})
@@ -411,7 +420,8 @@ func LLCSweep(o Options) *Experiment {
 		row := make([]float64, len(sizes))
 		for c, s := range sizes {
 			base := run(engine.Config{Scheme: engine.SchemeSecureWB,
-				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory, LLCKB: s}, p)
+				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory,
+				LLCKB: s, Cancel: r.o.Cancel}, p)
 			cfg := r.cfg(engine.SchemeCoalescing)
 			cfg.LLCKB = s
 			res := run(cfg, p)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -43,4 +44,50 @@ func Fan(n, workers int, fn func(i int)) {
 	}
 	close(work)
 	wg.Wait()
+}
+
+// FanCtx is Fan with cooperative cancellation: once ctx is done no new
+// item is dispatched; invocations already running finish normally (the
+// engine additionally observes the context mid-run when the caller
+// threads it into Config.Cancel, as RecordContext does). It returns
+// nil when all n invocations ran, ctx.Err() otherwise. A background
+// (never-cancelled) context makes FanCtx behave exactly like Fan.
+func FanCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+	return ctx.Err()
 }

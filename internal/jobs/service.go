@@ -1,0 +1,457 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"plp/internal/crash"
+	"plp/internal/engine"
+	"plp/internal/harness"
+	"plp/internal/registry"
+	"plp/internal/sim"
+	"plp/internal/telemetry"
+)
+
+// Config parameterizes a Service. Zero fields take defaults.
+type Config struct {
+	// QueueDepth bounds the submitted-but-not-started backlog; a full
+	// queue rejects submissions with ErrQueueFull (the HTTP layer's
+	// 429). Default 16.
+	QueueDepth int
+	// Workers is the number of jobs executing concurrently. Default 2:
+	// each sweep job already fans its benchmarks across CPUs, so a few
+	// concurrent jobs saturate the machine without thrashing it.
+	Workers int
+	// RunParallel caps each job's internal fan-out workers (harness
+	// Options.Parallel; 0 = GOMAXPROCS). With several service workers,
+	// bounding this keeps a single wide job from starving the rest.
+	RunParallel int
+	// MaxAttempts bounds runs of a job whose failures are transient
+	// (see Transient); non-transient failures never retry. Default 3.
+	MaxAttempts int
+	// Backoff is the first retry's delay; it doubles per attempt.
+	// Default 100ms.
+	Backoff time.Duration
+	// DefaultTimeout bounds jobs that do not set Spec.TimeoutSec
+	// (0 = unbounded).
+	DefaultTimeout time.Duration
+
+	// Observe, when non-nil, additionally receives every engine run's
+	// live sampler as it starts (plpserve's legacy live view). Called
+	// concurrently from job workers.
+	Observe func(jobID string, scheme engine.Scheme, bench string, s *telemetry.Sampler)
+	// OnFinish, when non-nil, is called after a job reaches a terminal
+	// state and has left its worker.
+	OnFinish func(*Job)
+}
+
+func (c *Config) fill() {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+}
+
+// The service's sentinel errors; the HTTP layer maps each to a status
+// code (429, 503, 404, 409).
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrDraining  = errors.New("jobs: service draining")
+	ErrNotFound  = errors.New("jobs: no such job")
+	ErrFinished  = errors.New("jobs: job already finished")
+)
+
+// transientError wraps an error to mark it retryable.
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+
+// Transient marks err as transient: the service will retry the job
+// (with backoff) up to Config.MaxAttempts. The deterministic simulator
+// itself never fails transiently — this classifies environmental
+// failures (result archiving, future remote backends).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientError{err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// with Transient.
+func IsTransient(err error) bool {
+	var te transientError
+	return errors.As(err, &te)
+}
+
+// Service owns the queue, the worker pool, and the job index.
+type Service struct {
+	cfg Config
+
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      uint64
+	draining bool
+
+	// workersDone closes when every worker has exited (drain complete).
+	workersDone chan struct{}
+
+	// runJob is the execution seam; tests substitute it to inject
+	// failures without touching the real runners.
+	runJob func(ctx context.Context, j *Job) (*registry.JobResult, error)
+}
+
+// New starts a service: a bounded queue drained by a fixed pool of
+// workers. The pool rides harness.Fan — the same worker-pool
+// discipline every sweep already uses — with one long-lived "item" per
+// worker looping over the queue.
+func New(cfg Config) *Service {
+	cfg.fill()
+	s := &Service{
+		cfg:         cfg,
+		queue:       make(chan *Job, cfg.QueueDepth),
+		jobs:        make(map[string]*Job),
+		workersDone: make(chan struct{}),
+	}
+	s.runJob = s.execute
+	go func() {
+		defer close(s.workersDone)
+		harness.Fan(cfg.Workers, cfg.Workers, func(int) {
+			for j := range s.queue {
+				s.process(j)
+			}
+		})
+	}()
+	return s
+}
+
+// Submit validates and enqueues a job. It never blocks: a full queue
+// returns ErrQueueFull immediately (load shedding), a draining service
+// ErrDraining, an invalid spec an error wrapping ErrInvalidSpec.
+func (s *Service) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	j := &Job{
+		id:          fmt.Sprintf("j%06d", s.seq),
+		spec:        spec,
+		state:       StateQueued,
+		submittedAt: time.Now(),
+		cancelCh:    make(chan struct{}),
+		live:        make(map[string]*telemetry.Sampler),
+		total:       spec.plannedRuns(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns every known job in submission order.
+func (s *Service) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests a job stop: a queued job goes terminal immediately
+// (its worker will discard it), a running job's context cancels and
+// the engine abandons the run within its next cancellation poll.
+// Cancelling a finished job returns ErrFinished; an unknown ID,
+// ErrNotFound. Cancel is idempotent on a job that is still winding
+// down.
+func (s *Service) Cancel(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state.Terminal():
+		if j.state == StateCanceled {
+			return nil // idempotent
+		}
+		return ErrFinished
+	case j.cancelRequested:
+		return nil // already winding down
+	}
+	j.cancelRequested = true
+	close(j.cancelCh)
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.finishedAt = time.Now()
+		j.errMsg = "canceled before start"
+		return nil
+	}
+	if j.attemptCancel != nil {
+		j.attemptCancel()
+	}
+	return nil
+}
+
+// Drain stops intake and waits for the backlog to finish: Submit
+// returns ErrDraining from now on, queued jobs still execute, and
+// Drain returns once every worker has exited. If ctx expires first,
+// all still-running jobs are cancelled and Drain waits for the (now
+// fast) wind-down before returning ctx.Err().
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.workersDone:
+		return nil
+	case <-ctx.Done():
+	}
+	for _, j := range s.List() {
+		if !j.State().Terminal() {
+			_ = s.Cancel(j.ID())
+		}
+	}
+	<-s.workersDone
+	return ctx.Err()
+}
+
+// process runs one dequeued job through its attempt loop.
+func (s *Service) process(j *Job) {
+	if !s.begin(j) {
+		// Cancelled while queued; already terminal.
+		if s.cfg.OnFinish != nil {
+			s.cfg.OnFinish(j)
+		}
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if j.spec.TimeoutSec > 0 {
+		timeout = time.Duration(j.spec.TimeoutSec) * time.Second
+	}
+	for attempt := 1; ; attempt++ {
+		res, err := s.attempt(j, timeout)
+		switch {
+		case err == nil:
+			s.finish(j, StateSucceeded, res, "")
+		case j.wasCancelled():
+			s.finish(j, StateCanceled, nil, "canceled")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.finish(j, StateFailed, nil,
+				fmt.Sprintf("deadline exceeded after %v (attempt %d)", timeout, attempt))
+		case IsTransient(err) && attempt < s.cfg.MaxAttempts:
+			if !s.backoff(j, attempt) {
+				s.finish(j, StateCanceled, nil, "canceled during retry backoff")
+				break
+			}
+			continue
+		default:
+			s.finish(j, StateFailed, nil, err.Error())
+		}
+		break
+	}
+	if s.cfg.OnFinish != nil {
+		s.cfg.OnFinish(j)
+	}
+}
+
+// begin moves a queued job to running; false if it went terminal
+// (cancelled) while waiting in the queue.
+func (s *Service) begin(j *Job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.startedAt = time.Now()
+	return true
+}
+
+// attempt runs the job body once under a fresh per-attempt context
+// carrying the job's deadline and cancellation.
+func (s *Service) attempt(j *Job, timeout time.Duration) (res *registry.JobResult, err error) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	j.mu.Lock()
+	if j.cancelRequested {
+		j.mu.Unlock()
+		return nil, context.Canceled
+	}
+	j.attempts++
+	j.attemptCancel = cancel
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		j.attemptCancel = nil
+		j.mu.Unlock()
+		if r := recover(); r != nil {
+			// A panicking job must not take its worker down with it;
+			// surface the panic as a (non-transient) failure.
+			res, err = nil, fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return s.runJob(ctx, j)
+}
+
+// backoff sleeps before a retry (exponential, attempt-indexed);
+// false means the job was cancelled mid-sleep.
+func (s *Service) backoff(j *Job, attempt int) bool {
+	d := s.cfg.Backoff << (attempt - 1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-j.cancelCh:
+		return false
+	}
+}
+
+func (s *Service) finish(j *Job, st State, res *registry.JobResult, msg string) {
+	j.mu.Lock()
+	j.state = st
+	j.finishedAt = time.Now()
+	j.result = res
+	j.errMsg = msg
+	j.mu.Unlock()
+}
+
+func (j *Job) wasCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelRequested
+}
+
+// execute is the real job body: dispatch on kind, thread ctx into the
+// harness so the engine's cancellation hook sees it.
+func (s *Service) execute(ctx context.Context, j *Job) (*registry.JobResult, error) {
+	switch j.spec.Kind {
+	case KindSweep:
+		return s.runSweep(ctx, j)
+	case KindExperiment:
+		return s.runExperiment(ctx, j)
+	case KindCrash:
+		return s.runCrash(ctx, j)
+	default:
+		// Unreachable past Validate; belt and braces for the seam.
+		return nil, fmt.Errorf("jobs: unknown kind %q", j.spec.Kind)
+	}
+}
+
+func (s *Service) runSweep(ctx context.Context, j *Job) (*registry.JobResult, error) {
+	spec := j.spec
+	ro := harness.RecordOptions{
+		Options: harness.Options{
+			Instructions: spec.Instructions,
+			Benches:      spec.Benches,
+			FullMemory:   spec.FullMemory,
+			Parallel:     s.cfg.RunParallel,
+		},
+		Schemes:     spec.engineSchemes(),
+		Interval:    sim.Cycle(spec.Interval),
+		NoTelemetry: spec.NoTelemetry,
+		Observe: func(scheme engine.Scheme, bench string, smp *telemetry.Sampler) {
+			j.observe(scheme, bench, smp)
+			if s.cfg.Observe != nil {
+				s.cfg.Observe(j.id, scheme, bench, smp)
+			}
+		},
+	}
+	runs, err := harness.RecordContext(ctx, ro)
+	if err != nil {
+		return nil, err
+	}
+	f := registry.New("job-"+j.id, spec.Instructions, spec.FullMemory)
+	f.Runs = runs
+	f.Sort()
+	return &registry.JobResult{Sweep: f}, nil
+}
+
+func (s *Service) runExperiment(ctx context.Context, j *Job) (*registry.JobResult, error) {
+	spec := j.spec
+	drv := harness.All()[spec.Experiment]
+	e := drv(harness.Options{
+		Instructions: spec.Instructions,
+		Benches:      spec.Benches,
+		FullMemory:   spec.FullMemory,
+		Parallel:     s.cfg.RunParallel,
+		Cancel:       func() bool { return ctx.Err() != nil },
+	})
+	if err := ctx.Err(); err != nil {
+		// The driver returned, but some of its runs were abandoned
+		// mid-flight: the numbers are not a real experiment.
+		return nil, err
+	}
+	return &registry.JobResult{Experiment: &registry.ExperimentResult{
+		ID:          e.ID,
+		Description: e.Description,
+		Summary:     e.Summary,
+		Table:       e.Table.Markdown(),
+	}}, nil
+}
+
+func (s *Service) runCrash(ctx context.Context, j *Job) (*registry.JobResult, error) {
+	var cc crash.CampaignConfig
+	if j.spec.Crash != nil {
+		cc = *j.spec.Crash
+	}
+	cc.Parallel = s.cfg.RunParallel
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := crash.RunCampaign(cc)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &registry.JobResult{Crash: rep.RegistryFile("job-" + j.id)}, nil
+}

@@ -1,0 +1,88 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JobResult is the serializable outcome of one asynchronous simulation
+// job (internal/jobs): exactly one payload field is set, matching the
+// job's kind. It is what `GET /jobs/{id}/result` returns and what a
+// job archive on disk contains, so the shapes reuse the registry's
+// versioned file formats — a job-produced sweep is byte-compatible
+// with a `plpbench record` registry file and feeds the same compare
+// gate.
+type JobResult struct {
+	// Sweep holds a recording sweep's registry file (kind "sweep").
+	Sweep *File `json:"sweep,omitempty"`
+	// Experiment holds a reproduced table/figure (kind "experiment").
+	Experiment *ExperimentResult `json:"experiment,omitempty"`
+	// Crash holds a crash-campaign report (kind "crash").
+	Crash *CrashFile `json:"crash,omitempty"`
+}
+
+// ExperimentResult is one harness experiment in serializable form: the
+// rendered table plus the headline summary numbers. (The harness's
+// Experiment type holds a live stats.Table; this is its wire shape.
+// registry cannot import harness — harness already imports registry —
+// so the conversion lives with the job service.)
+type ExperimentResult struct {
+	ID          string             `json:"id"`
+	Description string             `json:"description"`
+	Summary     map[string]float64 `json:"summary,omitempty"`
+	// Table is the experiment's table rendered as markdown; summary
+	// numbers above are the machine-readable series.
+	Table string `json:"table"`
+}
+
+// Validate checks that r carries exactly one payload.
+func (r *JobResult) Validate() error {
+	n := 0
+	if r.Sweep != nil {
+		n++
+	}
+	if r.Experiment != nil {
+		n++
+	}
+	if r.Crash != nil {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("registry: job result must carry exactly one payload, has %d", n)
+	}
+	return nil
+}
+
+// MarshalJobResult serializes r (indented, trailing newline) after
+// validating its shape.
+func MarshalJobResult(r *JobResult) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("registry: marshal job result: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// UnmarshalJobResult parses a serialized job result and validates its
+// shape (including the embedded sweep file's schema version).
+func UnmarshalJobResult(data []byte) (*JobResult, error) {
+	var r JobResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("registry: parse job result: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Sweep != nil && r.Sweep.Version > Version {
+		return nil, fmt.Errorf("registry: job sweep has schema version %d, this build understands <= %d",
+			r.Sweep.Version, Version)
+	}
+	if r.Crash != nil && r.Crash.Version > CrashVersion {
+		return nil, fmt.Errorf("registry: job crash report has schema version %d, this build understands <= %d",
+			r.Crash.Version, CrashVersion)
+	}
+	return &r, nil
+}

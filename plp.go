@@ -10,13 +10,19 @@
 //     domain, crash and recovery. Use it to build crash-recoverable
 //     applications and to study the paper's correctness invariants.
 //
-//   - A timing simulator (Simulate): the paper's six evaluated persist
+//   - A timing simulator (Session): the paper's six evaluated persist
 //     mechanisms (Table IV) — secure_WB, unordered, sp, pipeline, o3,
 //     coalescing — driven by synthetic SPEC2006-calibrated workloads,
-//     reproducing the evaluation's tables and figures.
+//     reproducing the evaluation's tables and figures. Build a
+//     validated, cancellable run with NewSession and functional
+//     options (WithScheme, WithBenchmark, WithContext, WithTelemetry);
+//     the flat Simulate remains as a deprecated shim.
 //
 // The cmd/plptables binary regenerates every table and figure;
-// EXPERIMENTS.md records paper-versus-measured results.
+// EXPERIMENTS.md records paper-versus-measured results. The
+// cmd/plpserve binary exposes the simulator as an asynchronous job
+// service over HTTP (see internal/jobs). docs/API.md documents which
+// of these surfaces are stable.
 package plp
 
 import (
@@ -78,6 +84,13 @@ const (
 )
 
 // Simulate runs one benchmark profile under a scheme configuration.
+// It panics on an invalid configuration (unknown scheme, bad cache
+// geometry).
+//
+// Deprecated: use NewSession + Session.Run, which validate up front
+// and return errors instead of panicking, support cancellation via
+// WithContext, and stream telemetry via WithTelemetry. Simulate is
+// kept for existing callers and behaves exactly as before.
 func Simulate(cfg SimConfig, p Profile) SimResult { return engine.Run(cfg, p) }
 
 // Benchmarks returns the 15 SPEC2006-calibrated workload profiles.

@@ -1,0 +1,174 @@
+package plp_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"plp"
+)
+
+// TestSessionEquivalence pins that a Session run matches the flat
+// Simulate exactly — including when a (never-fired) cancellable
+// context installs the engine's cancellation hook.
+func TestSessionEquivalence(t *testing.T) {
+	prof, ok := plp.BenchmarkByName("gcc")
+	if !ok {
+		t.Fatal("gcc profile missing")
+	}
+	cfg := plp.SimConfig{Scheme: plp.Coalescing, Instructions: 100_000}
+	//lint:ignore SA1019 comparing the deprecated shim against sessions is this test's purpose
+	want := plp.Simulate(cfg, prof)
+
+	s, err := plp.NewSession(
+		plp.WithProfile(prof),
+		plp.WithScheme(plp.Coalescing),
+		plp.WithInstructions(100_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("session result differs from Simulate: cycles %d vs %d", got.Cycles, want.Cycles)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hooked, err := plp.NewSession(
+		plp.WithProfile(prof),
+		plp.WithScheme(plp.Coalescing),
+		plp.WithInstructions(100_000),
+		plp.WithContext(ctx),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hooked.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatalf("hooked session differs from Simulate: cycles %d vs %d", res.Cycles, want.Cycles)
+	}
+}
+
+// TestSessionErrors checks configuration mistakes surface as errors
+// from NewSession, never panics from Run.
+func TestSessionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []plp.SessionOption
+		want string
+	}{
+		{"no benchmark", nil, "needs a benchmark"},
+		{"unknown benchmark", []plp.SessionOption{plp.WithBenchmark("nonesuch")}, "unknown benchmark"},
+		{"unknown scheme", []plp.SessionOption{
+			plp.WithBenchmark("gcc"), plp.WithScheme("nonesuch")}, "unknown scheme"},
+		{"bad config", []plp.SessionOption{
+			plp.WithBenchmark("gcc"),
+			plp.WithConfig(plp.SimConfig{Scheme: plp.SP, CtrCacheKB: 7})}, "" /* any error */},
+		{"nil context", []plp.SessionOption{
+			plp.WithBenchmark("gcc"), plp.WithContext(nil)}, "WithContext(nil)"},
+	}
+	for _, tc := range cases {
+		_, err := plp.NewSession(tc.opts...)
+		if err == nil {
+			t.Errorf("%s: NewSession accepted a bad configuration", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSessionOptions checks option composition: WithConfig as base,
+// narrower options layered on top, accessors reflecting the result.
+func TestSessionOptions(t *testing.T) {
+	s, err := plp.NewSession(
+		plp.WithConfig(plp.SimConfig{Scheme: plp.SP, EpochSize: 64}),
+		plp.WithBenchmark("gamess"),
+		plp.WithScheme(plp.O3),
+		plp.WithInstructions(50_000),
+		plp.WithFullMemory(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Scheme != plp.O3 || cfg.EpochSize != 64 || cfg.Instructions != 50_000 || !cfg.FullMemory {
+		t.Fatalf("config composition: %+v", cfg)
+	}
+	if s.Benchmark().Name != "gamess" {
+		t.Fatalf("benchmark %q", s.Benchmark().Name)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != plp.O3 || res.Bench != "gamess" || res.Cycles == 0 {
+		t.Fatalf("run result: %+v", res)
+	}
+}
+
+// TestSessionCancel checks a cancelled context stops a long run
+// promptly and Run reports the context error.
+func TestSessionCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := plp.NewSession(
+		plp.WithBenchmark("gamess"),
+		plp.WithScheme(plp.Pipeline),
+		plp.WithInstructions(500_000_000),
+		plp.WithContext(ctx),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Run()
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("cancelled run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not stop within 30s")
+	}
+
+	// A session whose context is already dead refuses to run at all.
+	if _, err := s.Run(); err != context.Canceled {
+		t.Fatalf("dead-context run returned %v", err)
+	}
+}
+
+// TestSessionTelemetry checks WithTelemetry streams the series.
+func TestSessionTelemetry(t *testing.T) {
+	sampler := plp.NewTelemetrySampler(1000)
+	s, err := plp.NewSession(
+		plp.WithBenchmark("gcc"),
+		plp.WithScheme(plp.Coalescing),
+		plp.WithInstructions(100_000),
+		plp.WithTelemetry(sampler),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sampler.Snapshot()
+	if len(snap.Windows) == 0 {
+		t.Fatal("telemetry sampler collected no windows")
+	}
+}
