@@ -1,0 +1,44 @@
+package main
+
+import (
+	"expvar"
+	"sync"
+)
+
+// The pre-registry /debug/vars names (plp_runs_started, ...) predate
+// the per-instance metrics registry; dashboards may still scrape them.
+// expvar's namespace is process-global and Publish panics on a
+// duplicate name, so the bridge binds exactly once: the first server
+// instance constructed in the process becomes the "default" instance
+// whose counters back the legacy names. Later instances are
+// /metrics-only — constructing them never touches expvar, which is
+// precisely the multi-instance safety the old package-level
+// expvar.NewInt globals lacked.
+var expvarBridge struct {
+	mu sync.Mutex
+	m  *serverMetrics
+}
+
+func bindExpvar(m *serverMetrics) {
+	expvarBridge.mu.Lock()
+	defer expvarBridge.mu.Unlock()
+	if expvarBridge.m != nil {
+		return // first binder wins
+	}
+	expvarBridge.m = m
+	for name, read := range map[string]func(*serverMetrics) uint64{
+		"plp_runs_started":     func(m *serverMetrics) uint64 { return m.runsStarted.Value() },
+		"plp_runs_completed":   func(m *serverMetrics) uint64 { return m.runsCompleted.Value() },
+		"plp_sweeps_completed": func(m *serverMetrics) uint64 { return m.sweepsDone.Value() },
+		"plp_jobs_submitted":   func(m *serverMetrics) uint64 { return m.jobsSubmitted.Value() },
+		"plp_jobs_rejected":    func(m *serverMetrics) uint64 { return m.jobsRejected.Value() },
+	} {
+		read := read
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarBridge.mu.Lock()
+			bound := expvarBridge.m
+			expvarBridge.mu.Unlock()
+			return read(bound)
+		}))
+	}
+}

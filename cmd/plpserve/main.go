@@ -52,6 +52,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8090", "HTTP listen address")
+		mAddr    = flag.String("metrics-addr", "", "serve /metrics on a separate listener (default: /metrics on -addr)")
 		workers  = flag.Int("workers", 2, "concurrent jobs")
 		queue    = flag.Int("queue", 16, "job queue depth (submissions beyond it get 429)")
 		parallel = flag.Int("parallel", 0, "per-job sweep worker goroutines (0 = GOMAXPROCS)")
@@ -68,16 +69,13 @@ func main() {
 	)
 	flag.Parse()
 
-	st := newStore()
 	var initialID string
-	svc := jobs.New(jobs.Config{
+	api := newServer(jobs.Config{
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		RunParallel:    *parallel,
 		DefaultTimeout: *timeout,
-		Observe:        st.register,
 		OnFinish: func(j *jobs.Job) {
-			st.finish(j)
 			if j.ID() != initialID || *out == "" {
 				return
 			}
@@ -93,6 +91,7 @@ func main() {
 			}
 		},
 	})
+	svc := api.svc
 
 	if *sweep || *out != "" {
 		spec := jobs.Spec{
@@ -116,12 +115,20 @@ func main() {
 		fmt.Printf("plpserve: initial sweep submitted as job %s (%d instructions/run)\n", j.ID(), *instr)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: withDebug((&server{svc: svc, st: st}).handler())}
+	srv := &http.Server{Addr: *addr, Handler: withDebug(api.handler())}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
 	errc := make(chan error, 1)
+	if *mAddr != "" {
+		// A dedicated scrape listener: the Prometheus exposition stays
+		// reachable (and firewallable) separately from the job API.
+		mm := http.NewServeMux()
+		mm.Handle("GET /metrics", api.m.reg.Handler())
+		go func() { errc <- http.ListenAndServe(*mAddr, mm) }()
+		fmt.Printf("plpserve: metrics on %s/metrics\n", *mAddr)
+	}
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("plpserve: listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
 

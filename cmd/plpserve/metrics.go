@@ -1,0 +1,47 @@
+package main
+
+import "plp/internal/metrics"
+
+// serverMetrics is one server instance's observability surface: a
+// private metrics.Registry plus the instruments the HTTP layer and the
+// live-run store increment. Every counter here is per-instance state —
+// the old package-level expvar.NewInt globals meant a second server in
+// the same process (tests, embedding) shared and double-counted them,
+// and any accidental re-registration panicked.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	runsStarted   *metrics.Counter
+	runsCompleted *metrics.Counter
+	sweepsDone    *metrics.Counter
+	jobsSubmitted *metrics.Counter
+	jobsRejected  *metrics.Counter
+
+	// runsByScheme splits completed runs per persist scheme.
+	runsByScheme *metrics.CounterVec
+	// persistLatency exposes each scheme's latest completed run's
+	// persist-latency quantiles (simulated cycles).
+	persistLatency *metrics.SummaryVec
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.New()
+	return &serverMetrics{
+		reg: reg,
+		runsStarted: reg.Counter("plp_runs_started_total",
+			"Engine runs started by any job."),
+		runsCompleted: reg.Counter("plp_runs_completed_total",
+			"Engine runs finished with a recorded result."),
+		sweepsDone: reg.Counter("plp_sweeps_completed_total",
+			"Sweep jobs that produced a result."),
+		jobsSubmitted: reg.Counter("plp_jobs_submitted_total",
+			"Jobs accepted by POST /jobs."),
+		jobsRejected: reg.Counter("plp_jobs_rejected_total",
+			"Submissions rejected with 429 (queue full)."),
+		runsByScheme: reg.CounterVec("plp_runs_total",
+			"Completed engine runs by persist scheme.", "scheme"),
+		persistLatency: reg.SummaryVec("plp_persist_latency_cycles",
+			"Persist latency of each scheme's latest completed run (simulated cycles).",
+			"scheme"),
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"plp/internal/jobs"
+)
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var b strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := r.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+// TestMetricsEndpoint is the exposition smoke: run one sweep job to
+// completion, then scrape /metrics and assert every key series the
+// service promises — job counters, per-scheme run counts, queue
+// gauges, retry counter, and the persist-latency quantiles.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 1, QueueDepth: 4})
+	_, st := postJob(t, ts,
+		`{"kind":"sweep","benches":["gamess"],"schemes":["pipeline"],"instructions":200000,"noTelemetry":true}`)
+	if final := waitState(t, ts, st.ID, 60*time.Second); final.State != jobs.StateSucceeded {
+		t.Fatalf("sweep finished %s: %s", final.State, final.Error)
+	}
+	// OnFinish fires after the terminal state is visible; give the
+	// store's finish hook a moment to land its counters.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(scrape(t, ts), "plp_sweeps_completed_total 1") {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := scrape(t, ts)
+	for _, series := range []string{
+		"# TYPE plp_jobs_submitted_total counter",
+		"plp_jobs_submitted_total 1",
+		"plp_jobs_rejected_total 0",
+		"plp_jobs_retries_total 0",
+		"plp_jobs_queue_depth 0",
+		"plp_jobs_queue_capacity 4",
+		"plp_runs_started_total 1",
+		"plp_runs_completed_total 1",
+		"plp_sweeps_completed_total 1",
+		`plp_runs_total{scheme="pipeline"} 1`,
+		`plp_persist_latency_cycles{scheme="pipeline",quantile="0.5"}`,
+		`plp_persist_latency_cycles{scheme="pipeline",quantile="0.99"}`,
+		`plp_persist_latency_cycles_count{scheme="pipeline"}`,
+	} {
+		if !strings.Contains(got, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", got)
+	}
+}
+
+// TestTwoServersIndependent is the regression for the package-level
+// expvar globals: constructing two complete server instances in one
+// process must not panic (expvar.NewInt would), and each instance's
+// /metrics must count only its own traffic.
+func TestTwoServersIndependent(t *testing.T) {
+	tsA, _ := newTestServer(t, jobs.Config{Workers: 1, QueueDepth: 2})
+	tsB, _ := newTestServer(t, jobs.Config{Workers: 1, QueueDepth: 2})
+
+	spec := `{"kind":"sweep","benches":["gamess"],"schemes":["pipeline"],"instructions":200000,"noTelemetry":true}`
+	if resp, _ := postJob(t, tsA, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit to A: %d", resp.StatusCode)
+	}
+	a, b := scrape(t, tsA), scrape(t, tsB)
+	if !strings.Contains(a, "plp_jobs_submitted_total 1") {
+		t.Errorf("server A did not count its submission:\n%s", a)
+	}
+	if !strings.Contains(b, "plp_jobs_submitted_total 0") {
+		t.Errorf("server B's counters bled from A:\n%s", b)
+	}
+
+	// The legacy /debug/vars names survive via the bridge (bound to
+	// whichever instance was constructed first in this process — the
+	// names exist exactly once and reading them never panics).
+	for _, name := range []string{
+		"plp_runs_started", "plp_runs_completed", "plp_sweeps_completed",
+		"plp_jobs_submitted", "plp_jobs_rejected",
+	} {
+		if expvar.Get(name) == nil {
+			t.Errorf("legacy expvar %q not published", name)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package main
 import (
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
 	"net/http"
 	"sort"
@@ -13,14 +12,6 @@ import (
 	"plp/internal/jobs"
 	"plp/internal/registry"
 	"plp/internal/telemetry"
-)
-
-var (
-	runsStarted   = expvar.NewInt("plp_runs_started")
-	runsCompleted = expvar.NewInt("plp_runs_completed")
-	sweepsDone    = expvar.NewInt("plp_sweeps_completed")
-	jobsSubmitted = expvar.NewInt("plp_jobs_submitted")
-	jobsRejected  = expvar.NewInt("plp_jobs_rejected")
 )
 
 // liveRun is one (scheme, bench) run's live view for the legacy
@@ -38,11 +29,15 @@ type liveRun struct {
 // All access is mutex-guarded because job workers register runs while
 // HTTP handlers read them.
 type store struct {
+	m *serverMetrics
+
 	mu   sync.Mutex
 	runs map[string]*liveRun
 }
 
-func newStore() *store { return &store{runs: make(map[string]*liveRun)} }
+func newStore(m *serverMetrics) *store {
+	return &store{m: m, runs: make(map[string]*liveRun)}
+}
 
 // register is wired to jobs.Config.Observe: every engine run any job
 // starts lands here.
@@ -52,7 +47,7 @@ func (s *store) register(_ string, scheme engine.Scheme, bench string, sampler *
 	s.runs[string(scheme)+"/"+bench] = &liveRun{
 		Scheme: string(scheme), Bench: bench, sampler: sampler,
 	}
-	runsStarted.Add(1)
+	s.m.runsStarted.Inc()
 }
 
 // finish is wired to jobs.Config.OnFinish: a succeeded sweep job's
@@ -72,9 +67,11 @@ func (s *store) finish(j *jobs.Job) {
 			s.runs[r.Key()] = lr
 		}
 		lr.final = r
-		runsCompleted.Add(1)
+		s.m.runsCompleted.Inc()
+		s.m.runsByScheme.With(r.Scheme).Inc()
+		s.m.persistLatency.With(r.Scheme).Set(r.PersistLatency)
 	}
-	sweepsDone.Add(1)
+	s.m.sweepsDone.Inc()
 }
 
 // get returns the run's live view, or nil.
@@ -113,10 +110,43 @@ func (s *store) list() []runStatus {
 	return out
 }
 
-// server binds the job service and the live-run store to the HTTP API.
+// server binds the job service, the live-run store, and the instance's
+// metrics to the HTTP API.
 type server struct {
 	svc *jobs.Service
 	st  *store
+	m   *serverMetrics
+}
+
+// newServer wires one complete service instance: its own metrics
+// registry (shared with the job service it creates), the live-run
+// store, and the hook chain. Multiple servers coexist in one process —
+// nothing here registers into global state except the one-time expvar
+// bridge, which only the first instance wins (see bindExpvar).
+func newServer(cfg jobs.Config) *server {
+	m := newServerMetrics()
+	st := newStore(m)
+	userObserve := cfg.Observe
+	cfg.Observe = func(id string, scheme engine.Scheme, bench string, smp *telemetry.Sampler) {
+		st.register(id, scheme, bench, smp)
+		if userObserve != nil {
+			userObserve(id, scheme, bench, smp)
+		}
+	}
+	userFinish := cfg.OnFinish
+	cfg.OnFinish = func(j *jobs.Job) {
+		st.finish(j)
+		if userFinish != nil {
+			userFinish(j)
+		}
+	}
+	if cfg.Metrics == nil {
+		// The job service adds its queue gauges and retry counter to
+		// the same exposition.
+		cfg.Metrics = m.reg
+	}
+	bindExpvar(m)
+	return &server{svc: jobs.New(cfg), st: st, m: m}
 }
 
 // jsonError writes a {"error": ...} body with the given status.
@@ -145,6 +175,7 @@ func (s *server) handler() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.Handle("GET /metrics", s.m.reg.Handler())
 
 	mux.HandleFunc("GET /runs", s.legacyRuns)
 	mux.HandleFunc("GET /timeseries", s.legacyTimeseries)
@@ -173,7 +204,7 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	case errors.Is(err, jobs.ErrQueueFull):
-		jobsRejected.Add(1)
+		s.m.jobsRejected.Inc()
 		w.Header().Set("Retry-After", "5")
 		jsonError(w, http.StatusTooManyRequests, "%v", err)
 		return
@@ -184,7 +215,7 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	jobsSubmitted.Add(1)
+	s.m.jobsSubmitted.Inc()
 	w.Header().Set("Location", "/jobs/"+j.ID())
 	writeJSON(w, http.StatusAccepted, j.Status(false))
 }

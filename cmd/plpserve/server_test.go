@@ -16,26 +16,15 @@ import (
 
 func newTestServer(t *testing.T, cfg jobs.Config) (*httptest.Server, *jobs.Service) {
 	t.Helper()
-	st := newStore()
-	if cfg.Observe == nil {
-		cfg.Observe = st.register
-	}
-	prev := cfg.OnFinish
-	cfg.OnFinish = func(j *jobs.Job) {
-		st.finish(j)
-		if prev != nil {
-			prev(j)
-		}
-	}
-	svc := jobs.New(cfg)
-	ts := httptest.NewServer((&server{svc: svc, st: st}).handler())
+	srv := newServer(cfg)
+	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
-		_ = svc.Drain(ctx)
+		_ = srv.svc.Drain(ctx)
 	})
-	return ts, svc
+	return ts, srv.svc
 }
 
 func postJob(t *testing.T, ts *httptest.Server, spec string) (*http.Response, jobs.Status) {

@@ -126,8 +126,16 @@ type Config struct {
 	// completion, Arg = data block, Arg2 = latency from WPQ admission)
 	// and one "epoch" event per epoch flush (At = completion, Arg =
 	// distinct blocks, Arg2 = latency from the drain). Nil costs
-	// nothing.
+	// nothing. Trace is the raw full-stream hook; for mode-filtered
+	// tracing (SYSTEM-ONLY / HYBRID / FULL with adaptive sampling) use
+	// Tracing instead — setting both is a validation error.
 	Trace sim.TraceFn
+
+	// Tracing is the mode-aware tracing layer (see TraceMode): a sink
+	// plus an OFF / SYSTEM-ONLY / HYBRID-n% / FULL mode, with optional
+	// adaptive shedding under an overhead budget. The zero value is
+	// off and costs exactly the nil-Trace path.
+	Tracing TraceConfig
 
 	// Arena, when non-nil, supplies the run's large reusable hot-path
 	// buffers (write-merge table, epoch membership set, precomputed
@@ -288,6 +296,11 @@ type Result struct {
 	// advances and Cycles before rounding — a consistency check on the
 	// timing model (near zero when every stall is labelled).
 	AttribDrift float64
+
+	// Trace reports what the mode-aware tracer emitted, dropped, and
+	// shed (zero unless Config.Tracing was active). Observational only:
+	// no other Result field depends on it.
+	Trace TraceStats
 }
 
 // CoalescingReduction is the fraction of BMT node updates removed.
@@ -703,6 +716,14 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 	if ipc <= 0 {
 		ipc = 1
 	}
+	// The mode-aware tracer installs itself as the run's Trace hook, so
+	// the emit sites stay mode-oblivious. OFF (or no sink) keeps the
+	// nil-hook path untouched; a directly-set Trace hook wins (Validate
+	// rejects configuring both).
+	tr := newTracer(cfg.Tracing)
+	if tr != nil && cfg.Trace == nil {
+		cfg.Trace = tr.emit
+	}
 	m := newMachine(cfg)
 	var res Result
 	res.Scheme = cfg.Scheme
@@ -743,6 +764,9 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 	res.BMTHitRate = m.bmtCache.Stats.HitRate()
 	res.NVMReads = m.mem.Reads
 	res.NVMWrites = m.mem.Writes
+	if tr != nil {
+		res.Trace = tr.finish()
+	}
 	// Close the time series: the final probe carries the run totals, so
 	// the per-window deltas sum exactly to the Result counters.
 	m.sample(res.Cycles, &res)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"plp/internal/crash"
 	"plp/internal/engine"
 	"plp/internal/harness"
+	"plp/internal/metrics"
 	"plp/internal/registry"
 )
 
@@ -394,6 +396,103 @@ func TestRetryExhausted(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Fatalf("ran %d attempts, want 2", calls)
+	}
+}
+
+// TestRetryDelayCapped pins the backoff arithmetic: the delay doubles
+// to MaxBackoff and stays there — no unbounded shift, no overflow into
+// a negative or years-long sleep at any attempt index.
+func TestRetryDelayCapped(t *testing.T) {
+	s, _ := newTestService(t, Config{
+		Workers: 1, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second,
+	})
+	want := []struct {
+		attempt int
+		d       time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second},
+		{6, time.Second},
+		{64, time.Second},  // the old Backoff<<63 overflowed here
+		{500, time.Second}, // and the shift count alone was UB territory
+	}
+	for _, w := range want {
+		if got := s.retryDelay(w.attempt); got != w.d {
+			t.Errorf("retryDelay(%d) = %v, want %v", w.attempt, got, w.d)
+		}
+	}
+}
+
+// TestBackoffRespectsDeadline is the fail-fast regression: a job with
+// a tight deadline and a huge configured backoff must fail the moment
+// a retry sleep cannot fit before the deadline — not sleep far past
+// the deadline first.
+func TestBackoffRespectsDeadline(t *testing.T) {
+	s, w := newTestService(t, Config{
+		Workers: 1, MaxAttempts: 3,
+		Backoff:        time.Hour,
+		MaxBackoff:     time.Hour,
+		DefaultTimeout: 100 * time.Millisecond,
+	})
+	var calls int
+	s.runJob = func(ctx context.Context, j *Job) (*registry.JobResult, error) {
+		calls++
+		return nil, Transient(errors.New("flaky backend"))
+	}
+	start := time.Now()
+	j, err := s.Submit(Spec{Kind: KindExperiment, Experiment: "fig8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.wait(t, j, 10*time.Second)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("job took %v: the backoff slept past the deadline", elapsed)
+	}
+	if st := j.State(); st != StateFailed {
+		t.Fatalf("state %s", st)
+	}
+	if calls != 1 {
+		t.Fatalf("ran %d attempts, want 1 (no retry fits the deadline)", calls)
+	}
+	if msg := j.Status(false).Error; !strings.Contains(msg, "retry backoff") {
+		t.Fatalf("error %q does not explain the fail-fast", msg)
+	}
+}
+
+// TestServiceMetrics checks the service instruments itself into the
+// registry it is handed: retries count, queue gauges render.
+func TestServiceMetrics(t *testing.T) {
+	reg := metrics.New()
+	s, w := newTestService(t, Config{
+		Workers: 1, MaxAttempts: 3, Backoff: time.Millisecond, Metrics: reg,
+	})
+	var calls int
+	s.runJob = func(ctx context.Context, j *Job) (*registry.JobResult, error) {
+		calls++
+		if calls < 3 {
+			return nil, Transient(errors.New("flaky"))
+		}
+		return &registry.JobResult{Experiment: &registry.ExperimentResult{ID: "x", Table: "t"}}, nil
+	}
+	j, err := s.Submit(Spec{Kind: KindExperiment, Experiment: "fig8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.wait(t, j, 10*time.Second)
+	if got := reg.Counter("plp_jobs_retries_total", "").Value(); got != 2 {
+		t.Fatalf("plp_jobs_retries_total = %d, want 2", got)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"plp_jobs_queue_depth 0", "plp_jobs_queue_capacity 16"} {
+		if !strings.Contains(b.String(), series) {
+			t.Errorf("exposition missing %q:\n%s", series, b.String())
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"plp/internal/crash"
 	"plp/internal/engine"
 	"plp/internal/harness"
+	"plp/internal/metrics"
 	"plp/internal/registry"
 	"plp/internal/sim"
 	"plp/internal/telemetry"
@@ -33,12 +34,22 @@ type Config struct {
 	// MaxAttempts bounds runs of a job whose failures are transient
 	// (see Transient); non-transient failures never retry. Default 3.
 	MaxAttempts int
-	// Backoff is the first retry's delay; it doubles per attempt.
-	// Default 100ms.
+	// Backoff is the first retry's delay; it doubles per attempt up to
+	// MaxBackoff. Default 100ms.
 	Backoff time.Duration
+	// MaxBackoff caps the doubling (the shift can otherwise overflow
+	// into a years-long or negative sleep at high MaxAttempts).
+	// Default 5s.
+	MaxBackoff time.Duration
 	// DefaultTimeout bounds jobs that do not set Spec.TimeoutSec
 	// (0 = unbounded).
 	DefaultTimeout time.Duration
+
+	// Metrics, when non-nil, is the registry this service instruments
+	// itself into (queue depth and capacity gauges, retry counter).
+	// Each service owns its own instruments — two services can share a
+	// process, each with its own registry, without collisions.
+	Metrics *metrics.Registry
 
 	// Observe, when non-nil, additionally receives every engine run's
 	// live sampler as it starts (plpserve's legacy live view). Called
@@ -61,6 +72,12 @@ func (c *Config) fill() {
 	}
 	if c.Backoff == 0 {
 		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.New() // private, unexported registry
 	}
 }
 
@@ -112,6 +129,9 @@ type Service struct {
 	// workersDone closes when every worker has exited (drain complete).
 	workersDone chan struct{}
 
+	// retries counts backoff-and-retry cycles (plp_jobs_retries_total).
+	retries *metrics.Counter
+
 	// runJob is the execution seam; tests substitute it to inject
 	// failures without touching the real runners.
 	runJob func(ctx context.Context, j *Job) (*registry.JobResult, error)
@@ -130,6 +150,14 @@ func New(cfg Config) *Service {
 		workersDone: make(chan struct{}),
 	}
 	s.runJob = s.execute
+	cfg.Metrics.GaugeFunc("plp_jobs_queue_depth",
+		"Jobs queued but not yet started.",
+		func() float64 { return float64(len(s.queue)) })
+	cfg.Metrics.GaugeFunc("plp_jobs_queue_capacity",
+		"Bound on the submitted-but-not-started backlog.",
+		func() float64 { return float64(cfg.QueueDepth) })
+	s.retries = cfg.Metrics.Counter("plp_jobs_retries_total",
+		"Transient-failure retries (each preceded by a backoff sleep).")
 	go func() {
 		defer close(s.workersDone)
 		harness.Fan(cfg.Workers, cfg.Workers, func(int) {
@@ -268,6 +296,13 @@ func (s *Service) process(j *Job) {
 	if j.spec.TimeoutSec > 0 {
 		timeout = time.Duration(j.spec.TimeoutSec) * time.Second
 	}
+	// The job-level deadline: attempts each get the full timeout, but a
+	// backoff sleep that would outlive this point fails the job now
+	// instead of burning wall time it can never get back.
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	for attempt := 1; ; attempt++ {
 		res, err := s.attempt(j, timeout)
 		switch {
@@ -279,11 +314,16 @@ func (s *Service) process(j *Job) {
 			s.finish(j, StateFailed, nil,
 				fmt.Sprintf("deadline exceeded after %v (attempt %d)", timeout, attempt))
 		case IsTransient(err) && attempt < s.cfg.MaxAttempts:
-			if !s.backoff(j, attempt) {
+			switch s.backoff(j, attempt, deadline) {
+			case backoffSlept:
+				s.retries.Inc()
+				continue
+			case backoffCanceled:
 				s.finish(j, StateCanceled, nil, "canceled during retry backoff")
-				break
+			case backoffPastDeadline:
+				s.finish(j, StateFailed, nil, fmt.Sprintf(
+					"deadline would pass during retry backoff (attempt %d): %v", attempt, err))
 			}
-			continue
 		default:
 			s.finish(j, StateFailed, nil, err.Error())
 		}
@@ -340,17 +380,45 @@ func (s *Service) attempt(j *Job, timeout time.Duration) (res *registry.JobResul
 	return s.runJob(ctx, j)
 }
 
-// backoff sleeps before a retry (exponential, attempt-indexed);
-// false means the job was cancelled mid-sleep.
-func (s *Service) backoff(j *Job, attempt int) bool {
-	d := s.cfg.Backoff << (attempt - 1)
+type backoffOutcome int
+
+const (
+	backoffSlept backoffOutcome = iota
+	backoffCanceled
+	backoffPastDeadline
+)
+
+// retryDelay is the exponential attempt-indexed delay, capped at
+// MaxBackoff. Doubling (not shifting) with the cap checked inside the
+// loop keeps the arithmetic overflow-proof at any MaxAttempts.
+func (s *Service) retryDelay(attempt int) time.Duration {
+	d := s.cfg.Backoff
+	for i := 1; i < attempt; i++ {
+		if d >= s.cfg.MaxBackoff/2 {
+			return s.cfg.MaxBackoff
+		}
+		d *= 2
+	}
+	if d > s.cfg.MaxBackoff {
+		d = s.cfg.MaxBackoff
+	}
+	return d
+}
+
+// backoff sleeps before a retry — unless the sleep would overrun the
+// job's deadline, in which case it fails fast without sleeping.
+func (s *Service) backoff(j *Job, attempt int, deadline time.Time) backoffOutcome {
+	d := s.retryDelay(attempt)
+	if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+		return backoffPastDeadline
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
-		return true
+		return backoffSlept
 	case <-j.cancelCh:
-		return false
+		return backoffCanceled
 	}
 }
 

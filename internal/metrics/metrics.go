@@ -1,0 +1,377 @@
+// Package metrics is a per-instance metrics registry with a
+// Prometheus text-exposition renderer: counters, gauges, summaries,
+// and histograms (bridged from internal/stats) that belong to one
+// owner — an engine run, a jobs.Service, a plpserve server — instead
+// of the process.
+//
+// The deliberate contrast is with expvar and the stock Prometheus
+// client, both of which register metric names in a process-global
+// namespace: two instances of the same component then either panic on
+// the second registration or silently share (and double-count) one
+// counter. Here the Registry itself is the namespace. Constructing a
+// second server constructs a second registry; nothing collides,
+// nothing bleeds. Within one registry, instrument constructors are
+// idempotent get-or-create — calling Counter twice with the same name
+// returns the same counter — so wiring code never needs registration
+// guards. Asking for an existing name as a different instrument kind
+// is a programming error and panics with both kinds named.
+//
+// All instruments are safe for concurrent use. Rendering
+// (WritePrometheus, Handler) is deterministic: families sort by name,
+// series by label values, so golden tests can pin the exposition.
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"plp/internal/stats"
+)
+
+// Registry is one instance's metric namespace. The zero value is not
+// usable; construct with New.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help, kind string
+
+	mu     sync.Mutex
+	series map[string]renderable // key = canonical label string
+	order  []string              // insertion-ordered keys, sorted at render
+	labels []string              // label names (vectors); nil for scalars
+}
+
+// renderable is one series' render hook: it appends exposition lines
+// for the family name with the given label block ("" or `{a="b"}`).
+type renderable interface {
+	render(b *bytes.Buffer, name, labelBlock string)
+}
+
+// family fetches or creates the named family, enforcing kind agreement.
+func (r *Registry) family(name, help, kind string, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind,
+			series: make(map[string]renderable), labels: labels}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %q already registered as a %s, requested as a %s",
+			name, f.kind, kind))
+	}
+	if len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("metrics: %q already registered with labels %v, requested with %v",
+			name, f.labels, labels))
+	}
+	return f
+}
+
+// get fetches or creates the series under key, constructing with mk.
+func (f *family) get(key string, mk func() renderable) renderable {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// labelBlock renders label names/values as `{a="x",b="y"}` ("" when
+// empty), escaping values per the exposition format.
+func labelBlock(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// ---------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) render(b *bytes.Buffer, name, lb string) {
+	fmt.Fprintf(b, "%s%s %d\n", name, lb, c.v.Load())
+}
+
+// Counter returns the registry's counter with the given name,
+// creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, "counter", nil)
+	return f.get("", func() renderable { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family with the given name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, "counter", labels)}
+}
+
+// With returns the counter for the given label values (one per label
+// name, in declaration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := labelBlock(v.f.labels, values)
+	return v.f.get(key, func() renderable { return &Counter{} }).(*Counter)
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) render(b *bytes.Buffer, name, lb string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, lb, formatFloat(g.Value()))
+}
+
+// Gauge returns the registry's settable gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge", nil)
+	return f.get("", func() renderable { return &Gauge{} }).(*Gauge)
+}
+
+// gaugeFunc renders a callback at scrape time.
+type gaugeFunc struct{ fn func() float64 }
+
+func (g gaugeFunc) render(b *bytes.Buffer, name, lb string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, lb, formatFloat(g.fn()))
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at every
+// scrape (e.g. a live queue depth). Re-registering the same name
+// keeps the first callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "gauge", nil)
+	f.get("", func() renderable { return gaugeFunc{fn} })
+}
+
+// ---------------------------------------------------------------------
+// Summary
+
+// Summary exposes precomputed quantiles (a stats.Summary digest) in
+// the Prometheus summary format: one {quantile="..."} series per
+// digest quantile plus _sum and _count.
+type Summary struct {
+	mu  sync.Mutex
+	sum stats.Summary
+}
+
+// Set replaces the exposed digest.
+func (s *Summary) Set(d stats.Summary) {
+	s.mu.Lock()
+	s.sum = d
+	s.mu.Unlock()
+}
+
+func (s *Summary) render(b *bytes.Buffer, name, lb string) {
+	s.mu.Lock()
+	d := s.sum
+	s.mu.Unlock()
+	// Splice the quantile label into any existing label block.
+	q := func(quantile string) string {
+		if lb == "" {
+			return `{quantile="` + quantile + `"}`
+		}
+		return lb[:len(lb)-1] + `,quantile="` + quantile + `"}`
+	}
+	fmt.Fprintf(b, "%s%s %d\n", name, q("0.5"), d.P50)
+	fmt.Fprintf(b, "%s%s %d\n", name, q("0.95"), d.P95)
+	fmt.Fprintf(b, "%s%s %d\n", name, q("0.99"), d.P99)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, lb, formatFloat(d.Mean*float64(d.Count)))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, lb, d.Count)
+}
+
+// Summary returns the registry's summary with the given name.
+func (r *Registry) Summary(name, help string) *Summary {
+	f := r.family(name, help, "summary", nil)
+	return f.get("", func() renderable { return &Summary{} }).(*Summary)
+}
+
+// SummaryVec is a summary family partitioned by label values.
+type SummaryVec struct{ f *family }
+
+// SummaryVec returns the labeled summary family with the given name.
+func (r *Registry) SummaryVec(name, help string, labels ...string) *SummaryVec {
+	return &SummaryVec{r.family(name, help, "summary", labels)}
+}
+
+// With returns the summary for the given label values.
+func (v *SummaryVec) With(values ...string) *Summary {
+	key := labelBlock(v.f.labels, values)
+	return v.f.get(key, func() renderable { return &Summary{} }).(*Summary)
+}
+
+// ---------------------------------------------------------------------
+// Histogram (bridged from internal/stats)
+
+// histogramFunc renders a stats.Histogram snapshot as a native
+// Prometheus histogram: cumulative le buckets at the power-of-two
+// upper bounds, plus _sum and _count.
+type histogramFunc struct{ snap func() stats.Histogram }
+
+func (h histogramFunc) render(b *bytes.Buffer, name, lb string) {
+	hist := h.snap()
+	le := func(bound string) string {
+		if lb == "" {
+			return `{le="` + bound + `"}`
+		}
+		return lb[:len(lb)-1] + `,le="` + bound + `"}`
+	}
+	var cum uint64
+	hist.ForEachBucket(func(upper, count uint64) {
+		if count == 0 {
+			return // render only occupied buckets; +Inf carries the total
+		}
+		cum += count
+		bound := strconv.FormatUint(upper, 10)
+		if upper == math.MaxUint64 {
+			return // folded into +Inf below
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, le(bound), cum)
+	})
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, le("+Inf"), hist.Count())
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, lb, hist.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, lb, hist.Count())
+}
+
+// HistogramFunc registers a histogram whose buckets are read from a
+// stats.Histogram snapshot callback at every scrape — the bridge from
+// the simulator's internal latency histograms to the exposition
+// format. snap must return a consistent copy (stats.Histogram is a
+// value type; copying one under the producer's lock suffices).
+func (r *Registry) HistogramFunc(name, help string, snap func() stats.Histogram) {
+	f := r.family(name, help, "histogram", nil)
+	f.get("", func() renderable { return histogramFunc{snap} })
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name and series by label values, so output is
+// deterministic for golden tests and clean diffs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	var b bytes.Buffer
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		srs := make([]renderable, len(keys))
+		for i, k := range keys {
+			srs[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(srs) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for i, s := range srs {
+			s.render(&b, f.name, keys[i])
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Handler returns the registry's /metrics HTTP handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The response is already streaming; nothing useful to do.
+			return
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"plp/internal/stats"
+)
+
+// TestExpositionGolden pins the exact text exposition: families sorted
+// by name, series by label values, HELP/TYPE headers, escaping.
+func TestExpositionGolden(t *testing.T) {
+	r := New()
+	r.Counter("plp_jobs_submitted_total", "Jobs accepted by the service.").Add(3)
+	v := r.CounterVec("plp_runs_total", "Engine runs by scheme.", "scheme")
+	v.With("o3").Add(2)
+	v.With("coalescing").Inc()
+	r.Gauge("plp_queue_depth", "Queued jobs.").Set(4)
+	r.GaugeFunc("plp_queue_capacity", "Queue bound.", func() float64 { return 16 })
+
+	var h stats.Histogram
+	for _, s := range []uint64{0, 1, 2, 3, 100} {
+		h.Add(s)
+	}
+	r.HistogramFunc("plp_persist_latency_cycles", "Persist latency.", func() stats.Histogram { return h })
+
+	sum := r.SummaryVec("plp_epoch_latency_cycles", "Epoch latency.", "scheme")
+	sum.With("o3").Set(stats.Summary{Count: 10, Mean: 2, P50: 1, P95: 3, P99: 4, Max: 5})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP plp_epoch_latency_cycles Epoch latency.
+# TYPE plp_epoch_latency_cycles summary
+plp_epoch_latency_cycles{scheme="o3",quantile="0.5"} 1
+plp_epoch_latency_cycles{scheme="o3",quantile="0.95"} 3
+plp_epoch_latency_cycles{scheme="o3",quantile="0.99"} 4
+plp_epoch_latency_cycles_sum{scheme="o3"} 20
+plp_epoch_latency_cycles_count{scheme="o3"} 10
+# HELP plp_jobs_submitted_total Jobs accepted by the service.
+# TYPE plp_jobs_submitted_total counter
+plp_jobs_submitted_total 3
+# HELP plp_persist_latency_cycles Persist latency.
+# TYPE plp_persist_latency_cycles histogram
+plp_persist_latency_cycles_bucket{le="0"} 1
+plp_persist_latency_cycles_bucket{le="1"} 2
+plp_persist_latency_cycles_bucket{le="3"} 4
+plp_persist_latency_cycles_bucket{le="127"} 5
+plp_persist_latency_cycles_bucket{le="+Inf"} 5
+plp_persist_latency_cycles_sum 106
+plp_persist_latency_cycles_count 5
+# HELP plp_queue_capacity Queue bound.
+# TYPE plp_queue_capacity gauge
+plp_queue_capacity 16
+# HELP plp_queue_depth Queued jobs.
+# TYPE plp_queue_depth gauge
+plp_queue_depth 4
+# HELP plp_runs_total Engine runs by scheme.
+# TYPE plp_runs_total counter
+plp_runs_total{scheme="coalescing"} 1
+plp_runs_total{scheme="o3"} 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestInstanceIndependence is the anti-global-registration property:
+// two registries with identical metric names never collide, never
+// panic, and never share state.
+func TestInstanceIndependence(t *testing.T) {
+	a, b := New(), New()
+	ca := a.Counter("plp_jobs_submitted_total", "h")
+	cb := b.Counter("plp_jobs_submitted_total", "h")
+	ca.Add(7)
+	if got := cb.Value(); got != 0 {
+		t.Fatalf("counter bled across registries: %d", got)
+	}
+	var ea, eb strings.Builder
+	a.WritePrometheus(&ea)
+	b.WritePrometheus(&eb)
+	if !strings.Contains(ea.String(), "plp_jobs_submitted_total 7") {
+		t.Errorf("registry a missing its count:\n%s", ea.String())
+	}
+	if !strings.Contains(eb.String(), "plp_jobs_submitted_total 0") {
+		t.Errorf("registry b not independent:\n%s", eb.String())
+	}
+}
+
+// TestGetOrCreateIdempotent asserts the same name returns the same
+// instrument (no registration guard needed at call sites), and that a
+// kind conflict panics with a descriptive message.
+func TestGetOrCreateIdempotent(t *testing.T) {
+	r := New()
+	c1 := r.Counter("x_total", "h")
+	c2 := r.Counter("x_total", "h")
+	if c1 != c2 {
+		t.Fatal("Counter not idempotent")
+	}
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Fatal("instruments not shared")
+	}
+	v := r.CounterVec("y_total", "h", "scheme")
+	if v.With("sp") != v.With("sp") {
+		t.Fatal("CounterVec series not idempotent")
+	}
+
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("kind conflict did not panic")
+		} else if !strings.Contains(r.(string), "counter") {
+			t.Fatalf("panic message unhelpful: %v", r)
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+// TestLabelEscaping pins exposition escaping of label values.
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("e_total", "", "path").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `e_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+// TestHandler serves the exposition over HTTP with the Prometheus
+// content type.
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("h_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentUse exercises instruments and rendering under
+// concurrency (meaningful under -race).
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	v := r.CounterVec("c_total", "h", "k")
+	g := r.Gauge("g", "h")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.With("a").Inc()
+				v.With("b").Add(2)
+				g.Set(float64(j))
+				if j%100 == 0 {
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := v.With("a").Value(); got != 8000 {
+		t.Fatalf("c_total{k=a} = %d, want 8000", got)
+	}
+}

@@ -12,9 +12,18 @@ type Delta struct {
 	OldCycles, NewCycles uint64
 	// Ratio is NewCycles/OldCycles (1.0 = unchanged, >1 = slower).
 	Ratio float64
+	// NewMetric marks a run whose baseline recorded zero cycles while
+	// the new side did not: there is no ratio to take (the percentage
+	// would be infinite), so the delta renders as "new metric" and is
+	// classified a regression for gating purposes.
+	NewMetric bool
 }
 
 func (d Delta) String() string {
+	if d.NewMetric {
+		return fmt.Sprintf("%-12s %-12s %12d -> %12d  (new metric)",
+			d.Scheme, d.Bench, d.OldCycles, d.NewCycles)
+	}
 	return fmt.Sprintf("%-12s %-12s %12d -> %12d  (%+.2f%%)",
 		d.Scheme, d.Bench, d.OldCycles, d.NewCycles, (d.Ratio-1)*100)
 }
@@ -145,12 +154,18 @@ func Compare(old, new *File, threshold float64) Report {
 			if n.Cycles == 0 {
 				d.Ratio = 1
 			} else {
-				d.Ratio = 2 // was free, now costs: treat as a regression
+				// No baseline to divide by: a percentage here would be
+				// NaN/Inf (or an arbitrary stand-in). Flag it instead
+				// and gate on it like any regression.
+				d.NewMetric = true
+				d.Ratio = 1
 			}
 		} else {
 			d.Ratio = float64(n.Cycles) / float64(o.Cycles)
 		}
 		switch {
+		case d.NewMetric:
+			rep.Regressions = append(rep.Regressions, d)
 		case d.Ratio > 1+threshold:
 			rep.Regressions = append(rep.Regressions, d)
 		case d.Ratio < 1-threshold:

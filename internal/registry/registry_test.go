@@ -132,6 +132,34 @@ func TestCompareClassification(t *testing.T) {
 	}
 }
 
+// TestCompareZeroBaseline pins the new-metric path: a run whose
+// baseline recorded zero cycles has no ratio to take, so the report
+// must say "new metric" — never NaN, Inf, or a made-up percentage —
+// while still gating as a regression. Two zero sides stay unchanged.
+func TestCompareZeroBaseline(t *testing.T) {
+	a := mkFile("a", run("sp", "x", 0), run("sp", "y", 0))
+	b := mkFile("b", run("sp", "x", 500), run("sp", "y", 0))
+	rep := Compare(a, b, 0.02)
+	if len(rep.Regressions) != 1 || !rep.Regressions[0].NewMetric {
+		t.Fatalf("zero->nonzero must gate as a new-metric regression: %+v", rep.Regressions)
+	}
+	if rep.Unchanged != 1 {
+		t.Fatalf("zero->zero must be unchanged, got %d", rep.Unchanged)
+	}
+	if !rep.Failed() {
+		t.Fatal("a new metric must fail the comparison")
+	}
+	s := rep.String()
+	if !strings.Contains(s, "new metric") {
+		t.Errorf("report does not flag the new metric:\n%s", s)
+	}
+	for _, banned := range []string{"NaN", "Inf", "+100.00%"} {
+		if strings.Contains(s, banned) {
+			t.Errorf("report renders %q for a zero baseline:\n%s", banned, s)
+		}
+	}
+}
+
 func TestCompareIdenticalPasses(t *testing.T) {
 	f := mkFile("x", run("sp", "a", 1000), run("o3", "a", 800))
 	rep := Compare(f, f, 0.02)

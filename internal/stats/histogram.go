@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -36,6 +37,26 @@ func (h *Histogram) Add(v uint64) {
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// ForEachBucket calls fn for each bucket in ascending order with the
+// bucket's inclusive upper bound and its count. The last bucket
+// absorbs all out-of-range samples, so its upper bound is reported as
+// math.MaxUint64 (exporters render it as an unbounded bucket).
+func (h *Histogram) ForEachBucket(fn func(upper uint64, count uint64)) {
+	for i, c := range h.buckets {
+		switch {
+		case i == 0:
+			fn(0, c)
+		case i == len(h.buckets)-1:
+			fn(math.MaxUint64, c)
+		default:
+			fn(uint64(1)<<uint(i)-1, c)
+		}
+	}
+}
 
 // Mean returns the arithmetic mean of samples (0 if empty).
 func (h *Histogram) Mean() float64 {

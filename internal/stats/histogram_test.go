@@ -150,3 +150,31 @@ func TestHistogramString(t *testing.T) {
 		t.Fatalf("render: %s", s)
 	}
 }
+
+// TestForEachBucket pins the exporter-facing bucket walk: ascending
+// inclusive upper bounds, bucket 0 for zeros, MaxUint64 for the
+// absorbing top bucket, counts summing to Count().
+func TestForEachBucket(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 5, 1 << 60} {
+		h.Add(v)
+	}
+	var uppers []uint64
+	var total uint64
+	h.ForEachBucket(func(upper, count uint64) {
+		if len(uppers) > 0 && upper <= uppers[len(uppers)-1] {
+			t.Fatalf("upper bounds not ascending: %d after %d", upper, uppers[len(uppers)-1])
+		}
+		uppers = append(uppers, upper)
+		total += count
+	})
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, Count() = %d", total, h.Count())
+	}
+	if uppers[0] != 0 || uppers[len(uppers)-1] != math.MaxUint64 {
+		t.Fatalf("bounds [%d .. %d], want [0 .. MaxUint64]", uppers[0], uppers[len(uppers)-1])
+	}
+	if h.Sum() != 6+1<<60 {
+		t.Fatalf("Sum() = %d", h.Sum())
+	}
+}

@@ -27,6 +27,30 @@ func NewTelemetrySampler(intervalCycles uint64) *TelemetrySampler {
 	return telemetry.NewSampler(sim.Cycle(intervalCycles), 0, engine.ComponentLabels())
 }
 
+// Tracing (see internal/engine): mode-aware structured event streaming
+// out of a running simulation. Tracing is observational — simulated
+// cycles are bit-identical in every mode.
+type (
+	// TracingConfig selects a trace mode, sink, HYBRID sampling rate,
+	// and optional adaptive overhead budget; attach it with WithTracing.
+	TracingConfig = engine.TraceConfig
+	// TraceMode is OFF / SYSTEM-ONLY / HYBRID / FULL.
+	TraceMode = engine.TraceMode
+	// TraceEvent is one structured event delivered to the sink.
+	TraceEvent = sim.TraceEvent
+	// TraceStats reports what the tracer emitted, dropped, and shed
+	// during a run (SimResult.Trace).
+	TraceStats = engine.TraceStats
+)
+
+// The tracing modes (TracingConfig.Mode).
+const (
+	TracingOff        = engine.TraceOff
+	TracingSystemOnly = engine.TraceSystemOnly
+	TracingHybrid     = engine.TraceHybrid
+	TracingFull       = engine.TraceFull
+)
+
 // Session is the configured entry point for timing simulations: build
 // one with NewSession and functional options, then Run it. Unlike the
 // flat Simulate, a Session validates its configuration up front
@@ -126,6 +150,14 @@ func WithContext(ctx context.Context) SessionOption {
 // progress.
 func WithTelemetry(t *TelemetrySampler) SessionOption {
 	return func(s *Session) { s.cfg.Telemetry = t }
+}
+
+// WithTracing attaches a mode-aware trace configuration: its Sink
+// receives the event subset the mode selects (TracingOff disables
+// tracing and keeps the engine's exact zero-overhead path). NewSession
+// validates the configuration.
+func WithTracing(tc TracingConfig) SessionOption {
+	return func(s *Session) { s.cfg.Tracing = tc }
 }
 
 func (s *Session) fail(err error) {

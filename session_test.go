@@ -152,6 +152,57 @@ func TestSessionCancel(t *testing.T) {
 	}
 }
 
+// TestSessionTracing checks WithTracing delivers the mode's event
+// subset without perturbing results, and that NewSession rejects a bad
+// tracing configuration instead of letting Run misbehave.
+func TestSessionTracing(t *testing.T) {
+	base, err := plp.NewSession(
+		plp.WithBenchmark("gcc"),
+		plp.WithScheme(plp.Coalescing),
+		plp.WithInstructions(100_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events int
+	s, err := plp.NewSession(
+		plp.WithBenchmark("gcc"),
+		plp.WithScheme(plp.Coalescing),
+		plp.WithInstructions(100_000),
+		plp.WithTracing(plp.TracingConfig{
+			Mode: plp.TracingFull,
+			Sink: func(plp.TraceEvent) { events++ },
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 || got.Trace.Emitted != uint64(events) {
+		t.Fatalf("FULL tracing delivered %d events, stats %+v", events, got.Trace)
+	}
+	got.Trace = plp.TraceStats{}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tracing perturbed the result: cycles %d vs %d", got.Cycles, want.Cycles)
+	}
+
+	_, err = plp.NewSession(
+		plp.WithBenchmark("gcc"),
+		plp.WithTracing(plp.TracingConfig{Mode: "verbose"}),
+	)
+	if err == nil || !strings.Contains(err.Error(), "trace mode") {
+		t.Fatalf("bad trace mode not rejected: %v", err)
+	}
+}
+
 // TestSessionTelemetry checks WithTelemetry streams the series.
 func TestSessionTelemetry(t *testing.T) {
 	sampler := plp.NewTelemetrySampler(1000)
