@@ -13,7 +13,9 @@
 //	GET    /jobs/{id}         one job's status (?telemetry=1 embeds series)
 //	DELETE /jobs/{id}         cancel; 404 unknown, 409 already finished
 //	GET    /jobs/{id}/result  finished payload; 409 while running
+//	GET    /jobs/{id}/trace   finished span tree (?format=jsonl for lines)
 //	GET    /healthz           liveness
+//	GET    /readyz            readiness; 503 once draining
 //
 // Legacy live view (fed by whatever sweep jobs run):
 //
@@ -46,6 +48,7 @@ import (
 	"time"
 
 	"plp/internal/jobs"
+	"plp/internal/obs"
 	"plp/internal/registry"
 )
 
@@ -59,6 +62,11 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0 = unbounded)")
 		drainT   = flag.Duration("drain-timeout", 2*time.Minute, "max graceful-drain wait on shutdown")
 
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json (stderr)")
+		traceCap  = flag.Int("trace-capacity", 0, "finished job traces retained for /jobs/{id}/trace (0 = default 256)")
+		traceOut  = flag.String("trace-jsonl", "", "append every finished job's spans to this JSONL file")
+
 		sweep    = flag.Bool("sweep", false, "submit an initial recording sweep job on startup")
 		instr    = flag.Uint64("instr", 10_000_000, "initial sweep: instructions per benchmark run")
 		benches  = flag.String("benches", "", "initial sweep: comma-separated benchmark subset (default all 15)")
@@ -69,12 +77,33 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plpserve: %v\n", err)
+		os.Exit(2)
+	}
+	// The tracer does not get the logger: the job service already logs
+	// every lifecycle edge itself, and giving both the same sink would
+	// double every record.
+	obsCfg := obs.Config{Capacity: *traceCap}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plpserve: -trace-jsonl: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		obsCfg.JSONL = f
+	}
+
 	var initialID string
 	api := newServer(jobs.Config{
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		RunParallel:    *parallel,
 		DefaultTimeout: *timeout,
+		Tracer:         obs.New(obsCfg),
+		Log:            logger,
 		OnFinish: func(j *jobs.Job) {
 			if j.ID() != initialID || *out == "" {
 				return
@@ -143,8 +172,9 @@ func main() {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
 	defer cancel()
-	if err := svc.Drain(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "plpserve: drain: %v (remaining jobs cancelled)\n", err)
+	if cut, err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "plpserve: drain: %v (cancelled %d jobs: %s)\n",
+			err, len(cut), strings.Join(cut, ", "))
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 
 	"plp/internal/engine"
 	"plp/internal/jobs"
+	"plp/internal/obs"
 	"plp/internal/registry"
 	"plp/internal/telemetry"
 )
@@ -116,6 +118,7 @@ type server struct {
 	svc *jobs.Service
 	st  *store
 	m   *serverMetrics
+	tr  *obs.Tracer
 }
 
 // newServer wires one complete service instance: its own metrics
@@ -145,8 +148,15 @@ func newServer(cfg jobs.Config) *server {
 		// the same exposition.
 		cfg.Metrics = m.reg
 	}
+	if cfg.Tracer == nil {
+		// Every server instance traces its jobs by default: the store is
+		// bounded (obs.Config zero value → 256 traces) so an idle default
+		// costs one map. No logger — the job service logs its own
+		// lifecycle edges; a second sink would duplicate each record.
+		cfg.Tracer = obs.New(obs.Config{})
+	}
 	bindExpvar(m)
-	return &server{svc: jobs.New(cfg), st: st, m: m}
+	return &server{svc: jobs.New(cfg), st: st, m: m, tr: cfg.Tracer}
 }
 
 // jsonError writes a {"error": ...} body with the given status.
@@ -172,9 +182,11 @@ func (s *server) handler() *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}", s.getJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.cancelJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.jobResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.jobTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("GET /readyz", s.readyz)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
 
 	mux.HandleFunc("GET /runs", s.legacyRuns)
@@ -197,7 +209,11 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	j, err := s.svc.Submit(spec)
+	// An inbound W3C traceparent makes the job's span tree part of the
+	// caller's distributed trace; a missing or malformed header starts a
+	// fresh trace.
+	parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	j, err := s.svc.SubmitTraced(spec, parent)
 	switch {
 	case err == nil:
 	case errors.Is(err, jobs.ErrInvalidSpec):
@@ -217,11 +233,28 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.jobsSubmitted.Inc()
 	w.Header().Set("Location", "/jobs/"+j.ID())
+	if tp := j.TraceContext().Traceparent(); tp != "" {
+		w.Header().Set(obs.TraceparentHeader, tp)
+	}
 	writeJSON(w, http.StatusAccepted, j.Status(false))
 }
 
+// defaultListLimit caps GET /jobs responses when the caller gives no
+// ?limit — jobs accumulate for the process lifetime, so an unbounded
+// default would grow without end. ?limit=0 asks for everything.
+const defaultListLimit = 100
+
 func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
-	js := s.svc.List()
+	limit := defaultListLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			jsonError(w, http.StatusBadRequest, "bad limit %q: want a non-negative integer", raw)
+			return
+		}
+		limit = n
+	}
+	js := s.svc.List(limit)
 	out := make([]jobs.Status, 0, len(js))
 	for _, j := range js {
 		out = append(out, j.Status(false))
@@ -289,11 +322,45 @@ func (s *server) jobResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// jobTrace serves a job's span tree: the nested JSON form by default,
+// or one span per line with ?format=jsonl. 404 covers both an unknown
+// job ID and a trace already evicted from the bounded store.
+func (s *server) jobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.svc.Get(id); !ok {
+		jsonError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	tree, ok := s.tr.Tree(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no trace for job %s (untraced or evicted)", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.tr.WriteJSONL(id, w)
+		return
+	}
+	writeJSON(w, http.StatusOK, tree)
+}
+
+// readyz reports readiness to take new work: 200 with the service's
+// queue stats normally, 503 once draining for shutdown — the signal a
+// load balancer uses to stop routing before the listener closes.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	code := http.StatusOK
+	if st.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
 func (s *server) legacyRuns(w http.ResponseWriter, r *http.Request) {
 	// sweepDone mirrors the pre-job-service contract: true once no
 	// sweep job is queued or running (the sparkline view stops polling).
 	active := false
-	for _, j := range s.svc.List() {
+	for _, j := range s.svc.List(0) {
 		if j.Spec().Kind == jobs.KindSweep && !j.State().Terminal() {
 			active = true
 			break

@@ -22,7 +22,7 @@ func newTestServer(t *testing.T, cfg jobs.Config) (*httptest.Server, *jobs.Servi
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
-		_ = srv.svc.Drain(ctx)
+		_, _ = srv.svc.Drain(ctx)
 	})
 	return ts, srv.svc
 }
@@ -335,7 +335,8 @@ func TestConcurrentJobsHTTP(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
-		drainDone <- svc.Drain(ctx)
+		_, err := svc.Drain(ctx)
+		drainDone <- err
 	}()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
@@ -354,7 +355,7 @@ func TestConcurrentJobsHTTP(t *testing.T) {
 	if err := <-drainDone; err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	for _, j := range svc.List() {
+	for _, j := range svc.List(0) {
 		if !j.State().Terminal() {
 			t.Fatalf("job %s not terminal after drain", j.ID())
 		}

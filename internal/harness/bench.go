@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"plp/internal/engine"
+	"plp/internal/obs"
 	"plp/internal/registry"
 	"plp/internal/sim"
 	"plp/internal/telemetry"
@@ -24,6 +25,11 @@ type RecordOptions struct {
 	// to expose in-progress series; it must be safe for concurrent
 	// calls from the fan-out workers.
 	Observe func(scheme engine.Scheme, bench string, s *telemetry.Sampler)
+	// Span, when non-nil, parents one "sweep-point" span per
+	// (scheme, bench) pair — each wrapping an "engine-run" child — so a
+	// traced job's tree shows where sweep wall time went. Nil (the
+	// default) records exactly the pre-tracing path.
+	Span *obs.Span
 }
 
 // Record runs every (benchmark, scheme) pair and returns the registry
@@ -73,13 +79,34 @@ func RecordContext(ctx context.Context, o RecordOptions) ([]registry.Run, error)
 			if o.Observe != nil {
 				o.Observe(s, p.Name, sampler)
 			}
+			var psp *obs.Span
+			if o.Span != nil {
+				psp = o.Span.Child("sweep-point",
+					obs.String("scheme", string(s)), obs.String("bench", p.Name))
+			}
 			start := time.Now()
-			res := run(cfg, p)
+			var res engine.Result
+			if psp != nil {
+				esp := psp.Child("engine-run")
+				res = run(cfg, p)
+				esp.End()
+			} else {
+				res = run(cfg, p)
+			}
 			wall := time.Since(start)
 			if ctx.Err() != nil {
 				// The run was (or may have been) cut short: its numbers
 				// are not a real simulation result.
+				if psp != nil {
+					psp.SetAttr(obs.Bool("discarded", true))
+					psp.End()
+				}
 				return
+			}
+			if psp != nil {
+				psp.SetAttr(obs.Uint64("cycles", uint64(res.Cycles)),
+					obs.Duration("wall", wall))
+				psp.End()
 			}
 			var series *telemetry.Series
 			if sampler != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"plp/internal/engine"
+	"plp/internal/obs"
 	"plp/internal/telemetry"
 )
 
@@ -100,5 +101,54 @@ func TestRecordObserveHook(t *testing.T) {
 	defer mu.Unlock()
 	if len(seen) != 4 {
 		t.Fatalf("observe fired for %d runs, want 4: %v", len(seen), seen)
+	}
+}
+
+// TestRecordSpanEquivalence checks the span hook is observational: a
+// recording under a span produces the expected sweep-point/engine-run
+// children with cycle attributes, and numbers identical to an
+// unspanned recording of the same options.
+func TestRecordSpanEquivalence(t *testing.T) {
+	o := RecordOptions{
+		Options:     Options{Instructions: 50_000, Benches: []string{"gamess", "gcc"}, Parallel: 2},
+		Schemes:     []engine.Scheme{engine.SchemeSP, engine.SchemeO3},
+		NoTelemetry: true,
+	}
+	plain := Record(o)
+
+	tr := obs.New(obs.Config{})
+	root := tr.StartRoot("sweep", "attempt", obs.SpanContext{})
+	spanned := o
+	spanned.Span = root
+	traced := Record(spanned)
+	root.End()
+
+	if len(traced) != len(plain) || len(traced) == 0 {
+		t.Fatalf("run counts differ: %d spanned, %d plain", len(traced), len(plain))
+	}
+	for i := range traced {
+		if traced[i].Cycles != plain[i].Cycles || traced[i].Persists != plain[i].Persists {
+			t.Errorf("run %d (%s): spanned %d cycles, plain %d",
+				i, traced[i].Key(), traced[i].Cycles, plain[i].Cycles)
+		}
+	}
+
+	tree, ok := tr.Tree("sweep")
+	if !ok {
+		t.Fatal("no trace recorded")
+	}
+	if len(tree.Children) != len(plain) {
+		t.Fatalf("%d sweep-point spans, want %d", len(tree.Children), len(plain))
+	}
+	for _, sp := range tree.Children {
+		if sp.Name != "sweep-point" || sp.Attrs["scheme"] == "" || sp.Attrs["bench"] == "" {
+			t.Fatalf("sweep-point span: %+v", sp)
+		}
+		if sp.Attrs["cycles"] == "" || sp.Attrs["cycles"] == "0" {
+			t.Fatalf("sweep-point %s/%s missing cycles", sp.Attrs["scheme"], sp.Attrs["bench"])
+		}
+		if len(sp.Children) != 1 || sp.Children[0].Name != "engine-run" || sp.Children[0].End == nil {
+			t.Fatalf("sweep-point children: %+v", sp.Children)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"plp/internal/engine"
+	"plp/internal/obs"
 	"plp/internal/registry"
 	"plp/internal/telemetry"
 )
@@ -34,6 +35,12 @@ func (s State) Terminal() bool {
 type Job struct {
 	id   string
 	spec Spec
+
+	// span is the job's root trace span, nil when the service runs
+	// untraced. Set once at submit, before the job is visible to any
+	// worker or handler, so reads need no lock; all Span methods are
+	// nil-safe.
+	span *obs.Span
 
 	mu          sync.Mutex
 	state       State
@@ -65,6 +72,11 @@ func (j *Job) ID() string { return j.id }
 
 // Spec returns the job's submission spec.
 func (j *Job) Spec() Spec { return j.spec }
+
+// TraceContext returns the job's root span context — the identity a
+// caller propagates downstream (e.g. as a traceparent response
+// header). The zero SpanContext when the service runs untraced.
+func (j *Job) TraceContext() obs.SpanContext { return j.span.Context() }
 
 // Result returns the job's final result, or nil while unfinished.
 func (j *Job) Result() *registry.JobResult {
@@ -107,6 +119,11 @@ type Status struct {
 	Attempts int    `json:"attempts,omitempty"`
 	Error    string `json:"error,omitempty"`
 
+	// TraceID correlates the job with its span tree (GET
+	// /jobs/{id}/trace) and log lines; empty when the service runs
+	// untraced.
+	TraceID string `json:"traceId,omitempty"`
+
 	// TotalRuns/StartedRuns track sweep progress (0 total = unknown,
 	// e.g. experiment and crash jobs).
 	TotalRuns   int `json:"totalRuns,omitempty"`
@@ -140,6 +157,9 @@ func (j *Job) Status(withTelemetry bool) Status {
 		Error:       j.errMsg,
 		TotalRuns:   j.total,
 		StartedRuns: j.started,
+	}
+	if sc := j.span.Context(); sc.Valid() {
+		st.TraceID = sc.TraceID.String()
 	}
 	type liveRef struct {
 		key     string

@@ -58,7 +58,7 @@ func newTestService(t *testing.T, cfg Config) (*Service, *watcher) {
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		_ = s.Drain(ctx)
+		_, _ = s.Drain(ctx)
 	})
 	return s, w
 }
@@ -581,8 +581,12 @@ func TestDrain(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	if err := s.Drain(ctx); err != nil {
+	cut, err := s.Drain(ctx)
+	if err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+	if len(cut) != 0 {
+		t.Fatalf("clean drain cut jobs short: %v", cut)
 	}
 	for _, j := range jobs {
 		if st := j.State(); st != StateSucceeded {
@@ -593,7 +597,7 @@ func TestDrain(t *testing.T) {
 		t.Fatalf("submit during drain: %v", err)
 	}
 	// Drain again is a no-op returning immediately.
-	if err := s.Drain(context.Background()); err != nil {
+	if _, err := s.Drain(context.Background()); err != nil {
 		t.Fatalf("second drain: %v", err)
 	}
 }
@@ -617,9 +621,12 @@ func TestDrainDeadlineCancels(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
-	err = s.Drain(ctx)
+	cut, err := s.Drain(ctx)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("drain err = %v", err)
+	}
+	if len(cut) != 1 || cut[0] != j.ID() {
+		t.Fatalf("drain reported cut jobs %v, want [%s]", cut, j.ID())
 	}
 	w.wait(t, j, 10*time.Second)
 	if st := j.State(); st != StateCanceled {
@@ -654,7 +661,7 @@ func TestConcurrentJobs(t *testing.T) {
 					return
 				default:
 				}
-				for _, j := range s.List() {
+				for _, j := range s.List(0) {
 					_ = j.Status(true)
 				}
 				time.Sleep(time.Millisecond)

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,8 +14,10 @@ import (
 	"plp/internal/engine"
 	"plp/internal/harness"
 	"plp/internal/metrics"
+	"plp/internal/obs"
 	"plp/internal/registry"
 	"plp/internal/sim"
+	"plp/internal/stats"
 	"plp/internal/telemetry"
 )
 
@@ -46,10 +50,22 @@ type Config struct {
 	DefaultTimeout time.Duration
 
 	// Metrics, when non-nil, is the registry this service instruments
-	// itself into (queue depth and capacity gauges, retry counter).
-	// Each service owns its own instruments — two services can share a
-	// process, each with its own registry, without collisions.
+	// itself into (queue depth and capacity gauges, retry counter, and
+	// the SLO instruments: queue-wait and job-duration summaries plus
+	// the shed and cancel burn counters). Each service owns its own
+	// instruments — two services can share a process, each with its
+	// own registry, without collisions.
 	Metrics *metrics.Registry
+
+	// Tracer, when non-nil, records one span tree per job (job →
+	// attempt → retry/backoff → sweep-point → engine run) in its
+	// bounded store, keyed by job ID. Nil — the default — is the exact
+	// pre-tracing path: every span hook is a nil-receiver no-op.
+	Tracer *obs.Tracer
+	// Log, when non-nil, receives structured lifecycle records (submit,
+	// shed, retry, cancel, drain stragglers, finish) correlated with
+	// job and trace IDs. Nil logs nothing, exactly as before.
+	Log *slog.Logger
 
 	// Observe, when non-nil, additionally receives every engine run's
 	// live sampler as it starts (plpserve's legacy live view). Called
@@ -131,6 +147,23 @@ type Service struct {
 
 	// retries counts backoff-and-retry cycles (plp_jobs_retries_total).
 	retries *metrics.Counter
+	// shed counts queue-full rejections (plp_jobs_shed_total) — the
+	// load-shedding burn counter an SLO alert rates over time.
+	shed *metrics.Counter
+	// canceled counts jobs that reached the canceled terminal state
+	// (plp_jobs_canceled_total), incremented exactly once per job.
+	canceled *metrics.Counter
+
+	// slo aggregates queue-wait and job-duration histograms and pushes
+	// their digests into the exposition summaries after every update.
+	slo struct {
+		mu        sync.Mutex
+		queueWait stats.Histogram
+		duration  stats.Histogram
+
+		queueWaitSum *metrics.Summary
+		durationSum  *metrics.Summary
+	}
 
 	// runJob is the execution seam; tests substitute it to inject
 	// failures without touching the real runners.
@@ -158,6 +191,14 @@ func New(cfg Config) *Service {
 		func() float64 { return float64(cfg.QueueDepth) })
 	s.retries = cfg.Metrics.Counter("plp_jobs_retries_total",
 		"Transient-failure retries (each preceded by a backoff sleep).")
+	s.shed = cfg.Metrics.Counter("plp_jobs_shed_total",
+		"Submissions shed because the queue was full (the 429 burn counter).")
+	s.canceled = cfg.Metrics.Counter("plp_jobs_canceled_total",
+		"Jobs that reached the canceled terminal state.")
+	s.slo.queueWaitSum = cfg.Metrics.Summary("plp_jobs_queue_wait_microseconds",
+		"Time jobs spent queued before a worker picked them up.")
+	s.slo.durationSum = cfg.Metrics.Summary("plp_jobs_duration_milliseconds",
+		"Wall time from a job's first attempt to its terminal state.")
 	go func() {
 		defer close(s.workersDone)
 		harness.Fan(cfg.Workers, cfg.Workers, func(int) {
@@ -173,6 +214,15 @@ func New(cfg Config) *Service {
 // returns ErrQueueFull immediately (load shedding), a draining service
 // ErrDraining, an invalid spec an error wrapping ErrInvalidSpec.
 func (s *Service) Submit(spec Spec) (*Job, error) {
+	return s.SubmitTraced(spec, obs.SpanContext{})
+}
+
+// SubmitTraced is Submit with an inbound trace context (a parsed W3C
+// traceparent header): the job's root span adopts its trace ID and
+// parents under its span, so a caller's trace continues through the
+// queue, the retries, and every engine run. A zero parent starts a
+// fresh trace (when the service has a tracer at all).
+func (s *Service) SubmitTraced(spec Spec, parent obs.SpanContext) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -191,15 +241,40 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		live:        make(map[string]*telemetry.Sampler),
 		total:       spec.plannedRuns(),
 	}
-	select {
-	case s.queue <- j:
-	default:
+	// Shed before creating any state. Every sender holds s.mu and the
+	// workers only drain, so a non-full queue here guarantees the send
+	// below cannot block — which lets the span be assigned (and the job
+	// indexed) strictly before a worker can see the job: the channel send
+	// is the happens-before edge that publishes j.span.
+	if len(s.queue) == cap(s.queue) {
 		s.seq--
+		s.shed.Inc()
+		if s.cfg.Log != nil {
+			s.cfg.Log.Warn("shed-429", "kind", spec.Kind,
+				"queue_depth", cap(s.queue), "trace", traceIDString(parent))
+		}
 		return nil, ErrQueueFull
 	}
+	j.span = s.cfg.Tracer.StartRoot(j.id, "job", parent,
+		obs.String("kind", string(spec.Kind)))
+	j.span.Event("submit", obs.Int("queue_depth", len(s.queue)))
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.queue <- j
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("submit", "job", j.id, "kind", spec.Kind,
+			"trace", traceIDString(j.TraceContext()))
+	}
 	return j, nil
+}
+
+// traceIDString renders a context's trace ID for log correlation ("" =
+// untraced).
+func traceIDString(sc obs.SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.TraceID.String()
 }
 
 // Get returns a job by ID.
@@ -210,15 +285,52 @@ func (s *Service) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// List returns every known job in submission order.
-func (s *Service) List() []*Job {
+// List returns known jobs sorted by submission time (ties by ID). A
+// positive limit bounds the result to the limit most recently
+// submitted jobs — the index otherwise grows without bound over a
+// server's life; limit <= 0 returns everything.
+func (s *Service) List(limit int) []*Job {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.jobs[id])
 	}
+	s.mu.Unlock()
+	// submittedAt is immutable after Submit; sorting outside s.mu needs
+	// no job locks.
+	sort.SliceStable(out, func(i, k int) bool {
+		if !out[i].submittedAt.Equal(out[k].submittedAt) {
+			return out[i].submittedAt.Before(out[k].submittedAt)
+		}
+		return out[i].id < out[k].id
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
 	return out
+}
+
+// Stats is a service-health snapshot for readiness reporting.
+type Stats struct {
+	// QueueDepth / QueueCapacity describe the submit backlog.
+	QueueDepth    int `json:"queueDepth"`
+	QueueCapacity int `json:"queueCapacity"`
+	// Jobs counts every job the index knows (any state).
+	Jobs int `json:"jobs"`
+	// Draining reports whether intake has been closed for shutdown.
+	Draining bool `json:"draining"`
+}
+
+// Stats snapshots the service's readiness-relevant state.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		Jobs:          len(s.jobs),
+		Draining:      s.draining,
+	}
 }
 
 // Cancel requests a job stop: a queued job goes terminal immediately
@@ -245,10 +357,18 @@ func (s *Service) Cancel(id string) error {
 	}
 	j.cancelRequested = true
 	close(j.cancelCh)
+	j.span.Event("cancel", obs.String("while", string(j.state)))
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("cancel", "job", j.id, "while", j.state,
+			"trace", traceIDString(j.span.Context()))
+	}
 	if j.state == StateQueued {
 		j.state = StateCanceled
 		j.finishedAt = time.Now()
 		j.errMsg = "canceled before start"
+		s.canceled.Inc()
+		j.span.Event("finish", obs.String("state", string(StateCanceled)))
+		j.span.End()
 		return nil
 	}
 	if j.attemptCancel != nil {
@@ -261,8 +381,11 @@ func (s *Service) Cancel(id string) error {
 // returns ErrDraining from now on, queued jobs still execute, and
 // Drain returns once every worker has exited. If ctx expires first,
 // all still-running jobs are cancelled and Drain waits for the (now
-// fast) wind-down before returning ctx.Err().
-func (s *Service) Drain(ctx context.Context) error {
+// fast) wind-down before returning ctx.Err() — the IDs of the jobs it
+// cut short come back in cut, so callers (and the logs) can tell
+// exactly which work a forced shutdown sacrificed. A clean drain
+// returns (nil, nil).
+func (s *Service) Drain(ctx context.Context) (cut []string, err error) {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
@@ -271,16 +394,24 @@ func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	select {
 	case <-s.workersDone:
-		return nil
+		return nil, nil
 	case <-ctx.Done():
 	}
-	for _, j := range s.List() {
-		if !j.State().Terminal() {
-			_ = s.Cancel(j.ID())
+	for _, j := range s.List(0) {
+		if j.State().Terminal() {
+			continue
+		}
+		j.span.Event("drain-straggler")
+		if s.cfg.Log != nil {
+			s.cfg.Log.Warn("drain-straggler", "job", j.ID(), "state", j.State(),
+				"trace", traceIDString(j.TraceContext()))
+		}
+		if s.Cancel(j.ID()) == nil {
+			cut = append(cut, j.ID())
 		}
 	}
 	<-s.workersDone
-	return ctx.Err()
+	return cut, ctx.Err()
 }
 
 // process runs one dequeued job through its attempt loop.
@@ -317,6 +448,12 @@ func (s *Service) process(j *Job) {
 			switch s.backoff(j, attempt, deadline) {
 			case backoffSlept:
 				s.retries.Inc()
+				j.span.Event("retry",
+					obs.Int("attempt", attempt), obs.String("error", err.Error()))
+				if s.cfg.Log != nil {
+					s.cfg.Log.Info("retry", "job", j.id, "attempt", attempt,
+						"error", err.Error(), "trace", traceIDString(j.TraceContext()))
+				}
 				continue
 			case backoffCanceled:
 				s.finish(j, StateCanceled, nil, "canceled during retry backoff")
@@ -335,15 +472,31 @@ func (s *Service) process(j *Job) {
 }
 
 // begin moves a queued job to running; false if it went terminal
-// (cancelled) while waiting in the queue.
+// (cancelled) while waiting in the queue. The queue wait lands in the
+// SLO summary here — the submit-to-start latency a capacity alert
+// watches.
 func (s *Service) begin(j *Job) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
 	j.startedAt = time.Now()
+	wait := j.startedAt.Sub(j.submittedAt)
+	span := j.span
+	j.mu.Unlock()
+
+	span.Event("dequeue", obs.Duration("queue_wait", wait))
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("dequeue", "job", j.id, "queue_wait", wait.String(),
+			"trace", traceIDString(span.Context()))
+	}
+	s.slo.mu.Lock()
+	s.slo.queueWait.Add(uint64(wait.Microseconds()))
+	digest := s.slo.queueWait.Summarize()
+	s.slo.mu.Unlock()
+	s.slo.queueWaitSum.Set(digest)
 	return true
 }
 
@@ -366,7 +519,12 @@ func (s *Service) attempt(j *Job, timeout time.Duration) (res *registry.JobResul
 	}
 	j.attempts++
 	j.attemptCancel = cancel
+	attempt := j.attempts
 	j.mu.Unlock()
+	// The attempt span rides the context into the job body, where the
+	// harness hangs its per-run (sweep-point) spans off it.
+	asp := j.span.Child("attempt", obs.Int("attempt", attempt))
+	ctx = obs.ContextWithSpan(ctx, asp)
 	defer func() {
 		j.mu.Lock()
 		j.attemptCancel = nil
@@ -376,6 +534,10 @@ func (s *Service) attempt(j *Job, timeout time.Duration) (res *registry.JobResul
 			// surface the panic as a (non-transient) failure.
 			res, err = nil, fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
 		}
+		if err != nil {
+			asp.SetAttr(obs.String("error", err.Error()))
+		}
+		asp.End()
 	}()
 	return s.runJob(ctx, j)
 }
@@ -412,12 +574,16 @@ func (s *Service) backoff(j *Job, attempt int, deadline time.Time) backoffOutcom
 	if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
 		return backoffPastDeadline
 	}
+	bsp := j.span.Child("backoff",
+		obs.Int("attempt", attempt), obs.Duration("delay", d))
+	defer bsp.End()
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
 		return backoffSlept
 	case <-j.cancelCh:
+		bsp.SetAttr(obs.Bool("canceled", true))
 		return backoffCanceled
 	}
 }
@@ -428,7 +594,29 @@ func (s *Service) finish(j *Job, st State, res *registry.JobResult, msg string) 
 	j.finishedAt = time.Now()
 	j.result = res
 	j.errMsg = msg
+	dur := j.finishedAt.Sub(j.startedAt)
+	span := j.span
 	j.mu.Unlock()
+
+	if st == StateCanceled {
+		s.canceled.Inc()
+	}
+	s.slo.mu.Lock()
+	s.slo.duration.Add(uint64(dur.Milliseconds()))
+	digest := s.slo.duration.Summarize()
+	s.slo.mu.Unlock()
+	s.slo.durationSum.Set(digest)
+
+	attrs := []obs.Attr{obs.String("state", string(st))}
+	if msg != "" {
+		attrs = append(attrs, obs.String("error", msg))
+	}
+	span.Event("finish", attrs...)
+	span.End()
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("finish", "job", j.id, "state", st, "duration", dur.String(),
+			"error", msg, "trace", traceIDString(span.Context()))
+	}
 }
 
 func (j *Job) wasCancelled() bool {
@@ -465,6 +653,7 @@ func (s *Service) runSweep(ctx context.Context, j *Job) (*registry.JobResult, er
 		Schemes:     spec.engineSchemes(),
 		Interval:    sim.Cycle(spec.Interval),
 		NoTelemetry: spec.NoTelemetry,
+		Span:        obs.SpanFromContext(ctx),
 		Observe: func(scheme engine.Scheme, bench string, smp *telemetry.Sampler) {
 			j.observe(scheme, bench, smp)
 			if s.cfg.Observe != nil {

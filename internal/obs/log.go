@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level. "off" (and
+// "none") mean logging disabled; callers get that via NewLogger's nil
+// return, not a level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error, off)", s)
+}
+
+// NewLogger builds the service's structured logger: level is one of
+// debug/info/warn/error/off, format "text" or "json". Level "off"
+// returns (nil, nil) — the disabled logger every hook in this package
+// and internal/jobs nil-checks, keeping the silent path the exact
+// pre-logging path.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	switch strings.ToLower(level) {
+	case "off", "none", "":
+		return nil, nil
+	}
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (text, json)", format)
+}

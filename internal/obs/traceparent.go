@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// TraceparentHeader is the W3C trace-context header name (lowercase,
+// per the spec; Go's http.Header canonicalizes on read either way).
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent parses a W3C traceparent header value:
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// It accepts any known-shape future version (more fields may follow),
+// rejecting only version ff, malformed hex, wrong lengths, and the
+// all-zero IDs the spec declares invalid. The flags byte is parsed for
+// shape but ignored: this service records every trace it is handed.
+func ParseTraceparent(v string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || strings.EqualFold(version, "ff") {
+		return SpanContext{}, false
+	}
+	if version == "00" && len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if len(traceID) != 2*len(sc.TraceID) || len(spanID) != 2*len(sc.SpanID) {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(traceID)); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(spanID)); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// Traceparent renders the context as a version-00 header value with
+// the sampled flag set (this service records what it propagates).
+// Invalid (zero) contexts render as "" — callers skip the header.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"log/slog"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	sc, ok := ParseTraceparent(valid)
+	if !ok {
+		t.Fatalf("valid header rejected: %s", valid)
+	}
+	if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" ||
+		sc.SpanID.String() != "00f067aa0ba902b7" {
+		t.Fatalf("parsed %+v", sc)
+	}
+	// Round trip (flags normalize to 01).
+	if got := sc.Traceparent(); got != valid {
+		t.Fatalf("re-rendered %q, want %q", got, valid)
+	}
+
+	// A future version with extra fields still parses.
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("future-version header rejected")
+	}
+	// Surrounding whitespace tolerated.
+	if _, ok := ParseTraceparent("  " + valid + " "); !ok {
+		t.Error("whitespace-padded header rejected")
+	}
+
+	invalid := []string{
+		"",
+		"not-a-header",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",          // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // v00 must have exactly 4 fields
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // version ff forbidden
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // zero span ID
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",       // bad hex
+		"00-4bf92f3577b34da6-00f067aa0ba902b7-01",                       // short trace ID
+		"0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",        // short version
+	}
+	for _, h := range invalid {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("invalid header accepted: %q", h)
+		}
+	}
+
+	// The zero context renders empty (callers skip the header).
+	if got := (SpanContext{}).Traceparent(); got != "" {
+		t.Fatalf("zero context rendered %q", got)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	l, err := NewLogger(nil, "off", "text")
+	if err != nil || l != nil {
+		t.Fatalf("off: %v, %v", l, err)
+	}
+	for _, level := range []string{"debug", "info", "warn", "error"} {
+		for _, format := range []string{"text", "json"} {
+			l, err := NewLogger(&discard{}, level, format)
+			if err != nil || l == nil {
+				t.Fatalf("%s/%s: %v, %v", level, format, l, err)
+			}
+		}
+	}
+	if _, err := NewLogger(&discard{}, "loud", "text"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger(&discard{}, "info", "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if lv, err := ParseLevel("warning"); err != nil || lv != slog.LevelWarn {
+		t.Errorf("warning: %v, %v", lv, err)
+	}
+}
+
+type discard struct{}
+
+func (*discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -3,6 +3,8 @@ package plp
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"time"
 
 	"plp/internal/engine"
 	"plp/internal/sim"
@@ -75,6 +77,7 @@ type Session struct {
 	prof    trace.Profile
 	profSet bool
 	ctx     context.Context
+	log     *slog.Logger
 
 	err error // first option error, surfaced by NewSession
 }
@@ -152,6 +155,22 @@ func WithTelemetry(t *TelemetrySampler) SessionOption {
 	return func(s *Session) { s.cfg.Telemetry = t }
 }
 
+// WithLogger attaches a structured logger (e.g. obs.NewLogger's):
+// every Run logs a start line (bench, scheme, instructions) and a
+// finish line (cycles, wall time, error if any). A session built
+// without WithLogger logs nothing — the default path is unchanged.
+// A nil logger is a configuration error, like WithContext(nil): pass
+// no option at all to run silently.
+func WithLogger(l *slog.Logger) SessionOption {
+	return func(s *Session) {
+		if l == nil {
+			s.fail(fmt.Errorf("plp: WithLogger(nil)"))
+			return
+		}
+		s.log = l
+	}
+}
+
 // WithTracing attaches a mode-aware trace configuration: its Sink
 // receives the event subset the mode selects (TracingOff disables
 // tracing and keeps the engine's exact zero-overhead path). NewSession
@@ -206,8 +225,28 @@ func (s *Session) Run() (SimResult, error) {
 		ctx := s.ctx
 		cfg.Cancel = func() bool { return ctx.Err() != nil }
 	}
+	if s.log != nil {
+		s.log.Info("run start",
+			"bench", s.prof.Name,
+			"scheme", string(cfg.Scheme),
+			"instructions", cfg.Instructions)
+	}
+	start := time.Now()
 	res := engine.Run(cfg, s.prof)
-	if err := s.ctx.Err(); err != nil {
+	err := s.ctx.Err()
+	if s.log != nil {
+		attrs := []any{
+			"bench", s.prof.Name,
+			"scheme", string(cfg.Scheme),
+			"cycles", uint64(res.Cycles),
+			"wall", time.Since(start),
+		}
+		if err != nil {
+			attrs = append(attrs, "error", err.Error())
+		}
+		s.log.Info("run finish", attrs...)
+	}
+	if err != nil {
 		return res, err
 	}
 	return res, nil

@@ -1,8 +1,11 @@
 package plp_test
 
 import (
+	"bytes"
 	"context"
+	"log/slog"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -221,5 +224,37 @@ func TestSessionTelemetry(t *testing.T) {
 	snap := sampler.Snapshot()
 	if len(snap.Windows) == 0 {
 		t.Fatal("telemetry sampler collected no windows")
+	}
+}
+
+// TestSessionLogger checks WithLogger emits correlated start/finish
+// records around a run, a logger-less session stays silent, and
+// WithLogger(nil) is a configuration error.
+func TestSessionLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	s, err := plp.NewSession(
+		plp.WithBenchmark("gcc"),
+		plp.WithScheme(plp.Coalescing),
+		plp.WithInstructions(100_000),
+		plp.WithLogger(log),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`msg="run start"`, `msg="run finish"`,
+		"bench=gcc", "scheme=coalescing", "cycles=" + strconv.FormatUint(uint64(res.Cycles), 10)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := plp.NewSession(plp.WithBenchmark("gcc"), plp.WithLogger(nil)); err == nil ||
+		!strings.Contains(err.Error(), "WithLogger(nil)") {
+		t.Fatalf("WithLogger(nil) error: %v", err)
 	}
 }
