@@ -9,20 +9,25 @@
 //
 //	plpbench record -o BENCH_seed.json -tag seed
 //	plpbench record -o /tmp/fresh.json -benches gamess,gcc -schemes sp,coalescing
+//	plpbench record -o /tmp/warm.json -warmup 500000 -memo -passes 2
 //	plpbench compare BENCH_seed.json /tmp/fresh.json
 //	plpbench compare -threshold 0.05 -warn old.json new.json
+//	plpbench compare -identical cold.json warm.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"strings"
+	"time"
 
 	"plp/internal/engine"
 	"plp/internal/harness"
 	"plp/internal/registry"
 	"plp/internal/sim"
+	"plp/internal/trace"
 )
 
 func main() {
@@ -41,9 +46,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  plpbench record  [-o FILE] [-tag TAG] [-instr N] [-benches a,b] [-schemes s1,s2]
-                   [-full] [-interval N] [-parallel N] [-no-telemetry]
-  plpbench compare [-threshold F] [-warn] OLD.json NEW.json
+  plpbench record  [-o FILE] [-tag TAG] [-instr N] [-warmup N] [-benches a,b]
+                   [-schemes s1,s2] [-full] [-interval N] [-parallel N]
+                   [-no-telemetry] [-memo] [-memo-mb N] [-trace-cache-mb N]
+                   [-passes N]
+  plpbench compare [-threshold F] [-warn] [-identical] OLD.json NEW.json
 `)
 	os.Exit(2)
 }
@@ -54,18 +61,24 @@ func record(args []string) {
 		out      = fs.String("o", "BENCH.json", "output registry file")
 		tag      = fs.String("tag", "", "registry tag (default: derived from -o)")
 		instr    = fs.Uint64("instr", 2_000_000, "instructions per benchmark run")
+		warmup   = fs.Uint64("warmup", 0, "warm-up instructions per run (untimed cache warm)")
 		benches  = fs.String("benches", "", "comma-separated benchmark subset (default all 15)")
 		schemes  = fs.String("schemes", "", "comma-separated scheme subset (default the six evaluated)")
 		full     = fs.Bool("full", false, "full-memory protection (persist stack too)")
 		interval = fs.Uint64("interval", 0, "telemetry window width in cycles (0 = default)")
 		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 		noTel    = fs.Bool("no-telemetry", false, "skip the time series (headline numbers only)")
+		memoOn   = fs.Bool("memo", false, "memoize sweep points (shared trace cache + warm-up checkpoints + result memo)")
+		memoMB   = fs.Uint64("memo-mb", 512, "memo byte bound in MB (with -memo)")
+		traceMB  = fs.Uint64("trace-cache-mb", 256, "trace batch cache bound in MB (with -memo)")
+		passes   = fs.Int("passes", 1, "record the sweep N times (with -memo: pass 1 is cold, later passes hit; the passes are asserted bit-identical)")
 	)
 	fs.Parse(args)
 
 	o := harness.RecordOptions{
 		Options: harness.Options{
 			Instructions: *instr,
+			Warmup:       *warmup,
 			FullMemory:   *full,
 			Parallel:     *parallel,
 		},
@@ -87,10 +100,75 @@ func record(args []string) {
 	if *tag == "" {
 		*tag = tagFromPath(*out)
 	}
+	if *passes < 1 {
+		*passes = 1
+	}
+	if *passes > 1 && !*memoOn {
+		fatalf("-passes %d without -memo would just repeat identical cold work", *passes)
+	}
 
-	runs := harness.Record(o)
+	var memo *harness.Memo
+	var store *trace.Store
+	if *memoOn {
+		memo = harness.NewMemo(*memoMB << 20)
+		store = trace.NewStore(*traceMB << 20)
+		o.Memo, o.Traces = memo, store
+	}
+
+	var runs []registry.Run
+	var firstRuns []registry.Run
+	var coldWall, lastWall time.Duration
+	for pass := 1; pass <= *passes; pass++ {
+		start := time.Now()
+		runs = harness.Record(o)
+		wall := time.Since(start)
+		if pass == 1 {
+			firstRuns, coldWall = runs, wall
+		}
+		lastWall = wall
+		if memo != nil {
+			st := memo.Stats()
+			fmt.Printf("pass %d/%d: %.2fs wall, memo %d hits / %d misses (%.0f%% hit rate), %d checkpoints built\n",
+				pass, *passes, wall.Seconds(), st.Hits, st.Misses, st.HitRate()*100, st.CheckpointMisses)
+		} else {
+			fmt.Printf("pass %d/%d: %.2fs wall\n", pass, *passes, wall.Seconds())
+		}
+	}
+	if *passes > 1 {
+		// The memoization correctness gate: every pass must reproduce
+		// pass 1 bit-for-bit (modulo wall clock).
+		if !runsIdentical(firstRuns, runs) {
+			fatalf("memoized pass diverged from the cold pass: results are not bit-identical")
+		}
+		fmt.Printf("passes bit-identical; memoized speedup %.2fx (%.2fs cold -> %.2fs warm)\n",
+			coldWall.Seconds()/lastWall.Seconds(), coldWall.Seconds(), lastWall.Seconds())
+	}
+
 	f := registry.New(*tag, *instr, *full)
+	f.Warmup = *warmup
 	f.Runs = runs
+	if memo != nil {
+		st := memo.Stats()
+		ts := store.Stats()
+		mi := &registry.MemoInfo{
+			Passes:           *passes,
+			Hits:             st.Hits,
+			Misses:           st.Misses,
+			HitRate:          st.HitRate(),
+			CheckpointHits:   st.CheckpointHits,
+			CheckpointMisses: st.CheckpointMisses,
+			TraceHits:        ts.Hits,
+			TraceMisses:      ts.Misses,
+		}
+		if *passes > 1 {
+			mi.ColdWallNS = uint64(coldWall.Nanoseconds())
+			mi.WarmWallNS = uint64(lastWall.Nanoseconds())
+			if lastWall > 0 {
+				mi.Speedup = float64(coldWall.Nanoseconds()) / float64(lastWall.Nanoseconds())
+			}
+		}
+		f.Memo = mi
+	}
 	if err := registry.Write(*out, f); err != nil {
 		fatalf("%v", err)
 	}
@@ -106,11 +184,29 @@ func record(args []string) {
 	}
 }
 
+// runsIdentical compares two recordings of the same sweep modulo the
+// wall-clock fields.
+func runsIdentical(a, b []registry.Run) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		x.WallNS, x.StoresPerSec = 0, 0
+		y.WallNS, y.StoresPerSec = 0, 0
+		if !reflect.DeepEqual(x, y) {
+			return false
+		}
+	}
+	return true
+}
+
 func compare(args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	var (
 		threshold = fs.Float64("threshold", 0.02, "noise threshold as a fraction (0.02 = 2%)")
 		warn      = fs.Bool("warn", false, "report regressions but exit zero (warn-only gate)")
+		identical = fs.Bool("identical", false, "require bit-identical runs (modulo wall clock); the memoization gate")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 2 {
@@ -124,8 +220,31 @@ func compare(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	rep := registry.Compare(oldF, newF, *threshold)
 	fmt.Printf("comparing %s (%s) -> %s (%s)\n", fs.Arg(0), oldF.Tag, fs.Arg(1), newF.Tag)
+	for _, side := range []struct {
+		name string
+		f    *registry.File
+	}{{fs.Arg(0), oldF}, {fs.Arg(1), newF}} {
+		if m := side.f.Memo; m != nil {
+			fmt.Printf("%s: memoized recording (%d passes, %.0f%% hit rate", side.name, m.Passes, m.HitRate*100)
+			if m.Speedup > 0 {
+				fmt.Printf(", %.2fx warm speedup", m.Speedup)
+			}
+			fmt.Println(")")
+		}
+	}
+	if *identical {
+		diffs := registry.Identical(oldF, newF)
+		if len(diffs) > 0 {
+			for _, d := range diffs {
+				fmt.Println("DIFF: " + d)
+			}
+			fatalf("%d differences; files are not bit-identical", len(diffs))
+		}
+		fmt.Printf("bit-identical: %d runs match exactly (wall clock ignored)\n", len(oldF.Runs))
+		return
+	}
+	rep := registry.Compare(oldF, newF, *threshold)
 	fmt.Print(rep.String())
 	if rep.Failed() {
 		if *warn {

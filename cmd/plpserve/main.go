@@ -47,9 +47,11 @@ import (
 	"syscall"
 	"time"
 
+	"plp/internal/harness"
 	"plp/internal/jobs"
 	"plp/internal/obs"
 	"plp/internal/registry"
+	"plp/internal/trace"
 )
 
 func main() {
@@ -61,6 +63,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "per-job sweep worker goroutines (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0 = unbounded)")
 		drainT   = flag.Duration("drain-timeout", 2*time.Minute, "max graceful-drain wait on shutdown")
+		memoMB   = flag.Uint64("memo-mb", 512, "sweep-point memo bound in MB shared by all jobs (0 = off)")
+		traceMB  = flag.Uint64("trace-cache-mb", 256, "trace batch cache bound in MB shared by all jobs (0 = off)")
 
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 		logFormat = flag.String("log-format", "text", "structured log format: text or json (stderr)")
@@ -69,6 +73,7 @@ func main() {
 
 		sweep    = flag.Bool("sweep", false, "submit an initial recording sweep job on startup")
 		instr    = flag.Uint64("instr", 10_000_000, "initial sweep: instructions per benchmark run")
+		warmup   = flag.Uint64("warmup", 0, "initial sweep: warm-up instructions per run (checkpointed once per benchmark)")
 		benches  = flag.String("benches", "", "initial sweep: comma-separated benchmark subset (default all 15)")
 		schemes  = flag.String("schemes", "", "initial sweep: comma-separated scheme subset (default the six evaluated)")
 		full     = flag.Bool("full", false, "initial sweep: full-memory protection")
@@ -96,12 +101,28 @@ func main() {
 		obsCfg.JSONL = f
 	}
 
+	// The memoization stack shared by every job this instance runs:
+	// repeated sweep points hit the memo, every scheme of a warmed
+	// sweep resumes one per-benchmark checkpoint, and trace batches
+	// generate once. All counters surface on /metrics.
+	var memo *harness.Memo
+	var traces *trace.Store
+	if *memoMB > 0 {
+		memo = harness.NewMemo(*memoMB << 20)
+	}
+	if *traceMB > 0 {
+		traces = trace.NewStore(*traceMB << 20)
+	}
+
 	var initialID string
 	api := newServer(jobs.Config{
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		RunParallel:    *parallel,
 		DefaultTimeout: *timeout,
+		Memo:           memo,
+		Traces:         traces,
+		Probe:          &harness.PoolProbe{},
 		Tracer:         obs.New(obsCfg),
 		Log:            logger,
 		OnFinish: func(j *jobs.Job) {
@@ -126,6 +147,7 @@ func main() {
 		spec := jobs.Spec{
 			Kind:         jobs.KindSweep,
 			Instructions: *instr,
+			Warmup:       *warmup,
 			FullMemory:   *full,
 			Interval:     *interval,
 		}

@@ -1,6 +1,10 @@
 package main
 
-import "plp/internal/metrics"
+import (
+	"plp/internal/harness"
+	"plp/internal/metrics"
+	"plp/internal/trace"
+)
 
 // serverMetrics is one server instance's observability surface: a
 // private metrics.Registry plus the instruments the HTTP layer and the
@@ -44,4 +48,74 @@ func newServerMetrics() *serverMetrics {
 			"Persist latency of each scheme's latest completed run (simulated cycles).",
 			"scheme"),
 	}
+}
+
+// bindMemo exposes the sweep-point memo's live counters on the
+// instance's exposition. GaugeFunc reads the stats snapshot at scrape
+// time, so the series track the memo without any push path.
+func (m *serverMetrics) bindMemo(memo *harness.Memo) {
+	stat := func(f func(harness.MemoStats) float64) func() float64 {
+		return func() float64 { return f(memo.Stats()) }
+	}
+	m.reg.GaugeFunc("plp_memo_hits_total",
+		"Sweep points served from the shared result memo.",
+		stat(func(s harness.MemoStats) float64 { return float64(s.Hits) }))
+	m.reg.GaugeFunc("plp_memo_misses_total",
+		"Sweep points that executed a simulation (memo misses).",
+		stat(func(s harness.MemoStats) float64 { return float64(s.Misses) }))
+	m.reg.GaugeFunc("plp_memo_evictions_total",
+		"Memoized results dropped by the byte bound.",
+		stat(func(s harness.MemoStats) float64 { return float64(s.Evictions) }))
+	m.reg.GaugeFunc("plp_memo_bytes",
+		"Resident bytes of memoized results and warm-up checkpoints.",
+		stat(func(s harness.MemoStats) float64 { return float64(s.Bytes) }))
+	m.reg.GaugeFunc("plp_memo_entries",
+		"Resident memoized results.",
+		stat(func(s harness.MemoStats) float64 { return float64(s.Entries) }))
+	m.reg.GaugeFunc("plp_memo_checkpoint_hits_total",
+		"Runs resumed from a stored warm-up checkpoint.",
+		stat(func(s harness.MemoStats) float64 { return float64(s.CheckpointHits) }))
+	m.reg.GaugeFunc("plp_memo_checkpoint_misses_total",
+		"Warm-up checkpoints built.",
+		stat(func(s harness.MemoStats) float64 { return float64(s.CheckpointMisses) }))
+}
+
+// bindTraceStore exposes the shared trace batch cache's counters.
+func (m *serverMetrics) bindTraceStore(store *trace.Store) {
+	stat := func(f func(trace.StoreStats) float64) func() float64 {
+		return func() float64 { return f(store.Stats()) }
+	}
+	m.reg.GaugeFunc("plp_trace_cache_hits_total",
+		"Trace batch requests served from the shared cache.",
+		stat(func(s trace.StoreStats) float64 { return float64(s.Hits) }))
+	m.reg.GaugeFunc("plp_trace_cache_misses_total",
+		"Trace batches materialized (cache misses).",
+		stat(func(s trace.StoreStats) float64 { return float64(s.Misses) }))
+	m.reg.GaugeFunc("plp_trace_cache_evictions_total",
+		"Trace batches dropped by the byte bound.",
+		stat(func(s trace.StoreStats) float64 { return float64(s.Evictions) }))
+	m.reg.GaugeFunc("plp_trace_cache_bytes",
+		"Resident bytes of cached trace batches.",
+		stat(func(s trace.StoreStats) float64 { return float64(s.Bytes) }))
+	m.reg.GaugeFunc("plp_trace_cache_entries",
+		"Resident cached trace batches.",
+		stat(func(s trace.StoreStats) float64 { return float64(s.Entries) }))
+}
+
+// bindPoolProbe exposes the harness fan-out pools' occupancy: queue
+// depth and the high-water worker occupancy, for asserting the pools
+// never starve under load.
+func (m *serverMetrics) bindPoolProbe(probe *harness.PoolProbe) {
+	m.reg.GaugeFunc("plp_pool_queued",
+		"Fan-out work items waiting for a worker across all jobs.",
+		func() float64 { return float64(probe.Queued()) })
+	m.reg.GaugeFunc("plp_pool_running",
+		"Fan-out work items executing right now across all jobs.",
+		func() float64 { return float64(probe.Running()) })
+	m.reg.GaugeFunc("plp_pool_completed_total",
+		"Fan-out work items completed across all jobs.",
+		func() float64 { return float64(probe.Completed()) })
+	m.reg.GaugeFunc("plp_pool_max_running",
+		"High-water concurrent fan-out occupancy (pool width when saturated).",
+		func() float64 { return float64(probe.MaxRunning()) })
 }

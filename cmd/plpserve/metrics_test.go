@@ -8,7 +8,9 @@ import (
 	"testing"
 	"time"
 
+	"plp/internal/harness"
 	"plp/internal/jobs"
+	"plp/internal/trace"
 )
 
 func scrape(t *testing.T, ts *httptest.Server) string {
@@ -111,5 +113,49 @@ func TestTwoServersIndependent(t *testing.T) {
 		if expvar.Get(name) == nil {
 			t.Errorf("legacy expvar %q not published", name)
 		}
+	}
+}
+
+// TestMemoMetricsEndpoint: a server with the memoization stack wired
+// exposes the memo / trace-cache / pool series, and a repeated sweep
+// job is served from the memo (hits > 0, no new misses).
+func TestMemoMetricsEndpoint(t *testing.T) {
+	memo := harness.NewMemo(0)
+	store := trace.NewStore(0)
+	ts, _ := newTestServer(t, jobs.Config{
+		Workers: 1, QueueDepth: 4,
+		Memo: memo, Traces: store, Probe: &harness.PoolProbe{},
+	})
+	spec := `{"kind":"sweep","benches":["gamess"],"schemes":["pipeline","sp"],"instructions":200000,"warmup":100000,"noTelemetry":true}`
+	for i := 0; i < 2; i++ {
+		_, st := postJob(t, ts, spec)
+		if final := waitState(t, ts, st.ID, 60*time.Second); final.State != jobs.StateSucceeded {
+			t.Fatalf("sweep %d finished %s: %s", i, final.State, final.Error)
+		}
+	}
+	got := scrape(t, ts)
+	for _, series := range []string{
+		"plp_memo_hits_total 2",   // second job: both points hit
+		"plp_memo_misses_total 2", // first job: both points executed
+		"plp_memo_checkpoint_misses_total 1",
+		"plp_memo_checkpoint_hits_total 1",
+		"plp_trace_cache_misses_total 1",
+		"plp_memo_bytes",
+		"plp_memo_entries 2",
+		"plp_trace_cache_bytes",
+		"plp_pool_queued 0",
+		"plp_pool_completed_total 2",
+		"plp_pool_max_running",
+	} {
+		if !strings.Contains(got, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	st := memo.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("memo stats %+v, want 2 hits / 2 misses", st)
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", got)
 	}
 }

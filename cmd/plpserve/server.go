@@ -148,6 +148,15 @@ func newServer(cfg jobs.Config) *server {
 		// the same exposition.
 		cfg.Metrics = m.reg
 	}
+	if cfg.Memo != nil {
+		m.bindMemo(cfg.Memo)
+	}
+	if cfg.Traces != nil {
+		m.bindTraceStore(cfg.Traces)
+	}
+	if cfg.Probe != nil {
+		m.bindPoolProbe(cfg.Probe)
+	}
 	if cfg.Tracer == nil {
 		// Every server instance traces its jobs by default: the store is
 		// bounded (obs.Config zero value → 256 traces) so an idle default

@@ -1,0 +1,55 @@
+package cache
+
+import "fmt"
+
+// Snapshot is a deep copy of a cache's complete state: tags,
+// valid/dirty bits, the LRU ordering (via the per-way clocks and the
+// global clock), and the statistics counters. It backs the engine's
+// warm-up checkpoints: restoring a snapshot and replaying the same
+// access stream reproduces the original cache behaviour bit for bit.
+type Snapshot struct {
+	sets     int
+	ways     int
+	policy   Policy
+	lruClock uint64
+	data     []way
+	stats    Stats
+}
+
+// Snapshot captures the cache's current state. The copy is deep:
+// later accesses to the cache do not disturb it, and one snapshot may
+// be restored any number of times.
+func (c *Cache) Snapshot() *Snapshot {
+	s := &Snapshot{
+		sets: c.sets, ways: c.waysPer, policy: c.policy,
+		lruClock: c.lruClock, stats: c.Stats,
+		data: make([]way, len(c.data)),
+	}
+	copy(s.data, c.data)
+	return s
+}
+
+// Restore resets the cache to a previously captured snapshot. The
+// snapshot must come from a cache of identical geometry and policy —
+// tags index into sets by geometry, so anything else would silently
+// scramble the contents; Restore rejects it instead. OnWriteback is
+// left untouched. The snapshot remains valid for further restores.
+func (c *Cache) Restore(s *Snapshot) error {
+	if s.sets != c.sets || s.ways != c.waysPer || s.policy != c.policy {
+		return fmt.Errorf("cache %s: snapshot geometry %d sets x %d ways (policy %d) does not match %d sets x %d ways (policy %d)",
+			c.name, s.sets, s.ways, s.policy, c.sets, c.waysPer, c.policy)
+	}
+	copy(c.data, s.data)
+	c.lruClock = s.lruClock
+	c.Stats = s.stats
+	return nil
+}
+
+// wayBytes is the in-memory footprint of one way entry, for snapshot
+// byte accounting (tag + valid + dirty + lru, padded).
+const wayBytes = 32
+
+// Bytes returns the snapshot's approximate memory footprint.
+func (s *Snapshot) Bytes() uint64 {
+	return uint64(len(s.data))*wayBytes + 128
+}

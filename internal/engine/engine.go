@@ -206,6 +206,17 @@ func (c Config) WithMACLatency(lat sim.Cycle) Config {
 	return c
 }
 
+// Normalized returns the config with every defaulted field filled in
+// to its Table III value — the form Run actually simulates. Two
+// configs are semantically identical exactly when their Normalized
+// comparable fields are equal (after filling, MACLatency's value alone
+// carries the zero-vs-default distinction), which is what memoization
+// layers key on.
+func (c Config) Normalized() Config {
+	c.fill()
+	return c
+}
+
 func (c *Config) fill() {
 	if c.Scheme == "" {
 		c.Scheme = SchemeSecureWB
@@ -396,6 +407,15 @@ const mergeWindow sim.Cycle = 1000
 
 const kb = 1024
 
+// newMDC builds one of the discrete metadata caches (counter, MAC,
+// BMT) with the given capacity and associativity.
+func newMDC(name string, kbs, ways int) *cache.Cache {
+	return cache.MustNew(cache.Config{
+		Name: name, SizeBytes: kbs * kb, LineBytes: addr.BlockBytes,
+		Ways: ways, Policy: cache.WriteBack,
+	})
+}
+
 func newMachine(cfg Config) *machine {
 	m := &machine{
 		cfg:  cfg,
@@ -409,15 +429,9 @@ func newMachine(cfg Config) *machine {
 	}
 	m.macPipe = sim.Resource{Latency: cfg.MACLatency, Initiation: 1}
 	m.macVerify = sim.Resource{Latency: cfg.MACLatency, Initiation: 1}
-	mdc := func(name string, kbs int) *cache.Cache {
-		return cache.MustNew(cache.Config{
-			Name: name, SizeBytes: kbs * kb, LineBytes: addr.BlockBytes,
-			Ways: cfg.MDCWays, Policy: cache.WriteBack,
-		})
-	}
-	m.ctrCache = mdc("ctr", cfg.CtrCacheKB)
-	m.macCache = mdc("mac", cfg.MACCacheKB)
-	m.bmtCache = mdc("bmt", cfg.BMTCacheKB)
+	m.ctrCache = newMDC("ctr", cfg.CtrCacheKB, cfg.MDCWays)
+	m.macCache = newMDC("mac", cfg.MACCacheKB, cfg.MDCWays)
+	m.bmtCache = newMDC("bmt", cfg.BMTCacheKB, cfg.MDCWays)
 	m.data = hier.Default(cfg.LLCKB, cfg.LLCWays)
 	m.aliasBlocks = uint64(trace.TotalBlocks)
 	if covered := m.topo.Leaves() * addr.BlocksPerPage; m.aliasBlocks > covered {
@@ -642,11 +656,20 @@ func (m *machine) persistWrites(b addr.Block, at sim.Cycle) sim.Cycle {
 // warm streams instructions through the data hierarchy and counter
 // cache without timing, populating them before the measured region.
 func (m *machine) warm(st *opStream, instrs uint64) {
+	warmCaches(m.data, m.ctrCache, m.cfg.IdealMDC, st, instrs)
+}
+
+// warmCaches is the warm-up loop shared by RunSource and checkpoint
+// construction: it streams instructions through the data hierarchy and
+// counter cache without timing. Warm-up state therefore depends on
+// exactly the stream prefix and these two structures' geometry — the
+// StageWarmup entries of the divergence map.
+func warmCaches(data *hier.Hierarchy, ctr *cache.Cache, idealMDC bool, st *opStream, instrs uint64) {
 	for st.progress() < instrs {
 		op := st.next()
-		m.data.Access(cache.Line(op.Block), op.Kind == trace.OpStore)
-		if !m.cfg.IdealMDC {
-			m.ctrCache.Access(cache.Line(addr.PageOfBlock(op.Block)), false)
+		data.Access(cache.Line(op.Block), op.Kind == trace.OpStore)
+		if !idealMDC {
+			ctr.Access(cache.Line(addr.PageOfBlock(op.Block)), false)
 		}
 	}
 }
@@ -725,9 +748,6 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 		cfg.Trace = tr.emit
 	}
 	m := newMachine(cfg)
-	var res Result
-	res.Scheme = cfg.Scheme
-	res.Bench = bench
 
 	st := newOpStream(src, cfg.Instructions+cfg.Warmup, m.ar.opBuf(opBatch))
 	if cfg.Warmup > 0 {
@@ -735,7 +755,20 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 		m.cfg.Instructions += cfg.Warmup
 	}
 
-	switch cfg.Scheme {
+	return m.measure(st, bench, ipc, tr)
+}
+
+// measure runs the machine's measured region — the scheme-specific
+// timing loop over the remaining op stream — and finalizes the Result.
+// The stream must already be past the warm-up prefix (and
+// m.cfg.Instructions raised by the warm-up's instructions), whether it
+// got there by streaming through warm() or by Checkpoint.Resume.
+func (m *machine) measure(st *opStream, bench string, ipc float64, tr *tracer) Result {
+	var res Result
+	res.Scheme = m.cfg.Scheme
+	res.Bench = bench
+
+	switch m.cfg.Scheme {
 	case SchemeSecureWB:
 		runSecureWB(m, st, ipc, &res)
 	case SchemeUnordered:
@@ -747,11 +780,11 @@ func RunSource(cfg Config, bench string, ipc float64, src trace.Source) Result {
 	case SchemeO3, SchemeCoalescing:
 		runEpoch(m, st, ipc, &res)
 	default:
-		panic(fmt.Sprintf("engine: unknown scheme %q", cfg.Scheme))
+		panic(fmt.Sprintf("engine: unknown scheme %q", m.cfg.Scheme))
 	}
 
 	m.finishCrashLog(&res)
-	res.Instructions = m.cfg.Instructions - cfg.Warmup
+	res.Instructions = m.cfg.Instructions - m.cfg.Warmup
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Instructions) / float64(res.Cycles)
 	}

@@ -1,6 +1,10 @@
 package engine
 
-import "plp/internal/trace"
+import (
+	"fmt"
+
+	"plp/internal/trace"
+)
 
 // opBatch is the number of ops pulled from a BatchSource at a time.
 const opBatch = 1024
@@ -58,4 +62,43 @@ func (s *opStream) next() trace.Op {
 	s.pos++
 	s.consumed += uint64(op.Gap) + 1
 	return op
+}
+
+// checkpoint captures the stream's exact position for later resumption:
+// a positioned clone of the source, the ops already pulled into the
+// batch buffer but not yet handed out, and the instructions consumed so
+// far. The source must be cloneable; the stream itself remains usable.
+func (s *opStream) checkpoint() (src trace.Source, pending []trace.Op, consumed uint64, err error) {
+	c, ok := s.src.(trace.CloneableSource)
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("engine: source %T is not checkpointable (no CloneSource)", s.src)
+	}
+	if s.batch == nil {
+		return c.CloneSource(), nil, s.src.Progress(), nil
+	}
+	// In batch mode the source sits past the buffered ops; keep them so
+	// the resumed stream replays them before refilling.
+	pending = append([]trace.Op(nil), s.buf[s.pos:s.n]...)
+	return c.CloneSource(), pending, s.consumed, nil
+}
+
+// resumeOpStream rebuilds a stream from a checkpoint() capture. The
+// pending ops are installed ahead of the source, and consumed is
+// restored explicitly — the cloned source's Progress already includes
+// the pending ops, so deriving consumed from it (as newOpStream does)
+// would double-count them.
+func resumeOpStream(src trace.Source, limit uint64, buf []trace.Op, pending []trace.Op, consumed uint64) *opStream {
+	s := newOpStream(src, limit, buf)
+	if s.batch == nil {
+		if len(pending) > 0 {
+			panic(fmt.Sprintf("engine: resuming %T with %d pending batched ops but no batch path", src, len(pending)))
+		}
+		return s
+	}
+	if copy(s.buf, pending) < len(pending) {
+		panic(fmt.Sprintf("engine: resume buffer holds %d ops, checkpoint carries %d", len(s.buf), len(pending)))
+	}
+	s.pos, s.n = 0, len(pending)
+	s.consumed = consumed
+	return s
 }

@@ -29,7 +29,7 @@ func Attrib(o Options) *Experiment {
 		base := r.baseline(p)
 		perScheme := make([][]float64, len(schemes))
 		for si, s := range schemes {
-			res := run(r.cfg(s), p)
+			res := r.run(r.cfg(s), p)
 			cells := make([]float64, 0, cols)
 			cells = append(cells, float64(res.Cycles)/float64(base.Cycles))
 			for _, c := range comps {

@@ -64,20 +64,18 @@ func RecordContext(ctx context.Context, o RecordOptions) ([]registry.Run, error)
 	}
 	profs := r.o.profiles()
 	runs := make([]registry.Run, len(profs)*len(schemes))
-	err := FanCtx(ctx, len(profs), r.o.Parallel, func(i int) {
+	err := FanCtxProbe(ctx, len(profs), r.o.Parallel, r.o.Probe, func(i int) {
 		p := profs[i]
 		for si, s := range schemes {
 			if ctx.Err() != nil {
 				return
 			}
 			cfg := r.cfg(s)
-			var sampler *telemetry.Sampler
-			if !o.NoTelemetry {
-				sampler = telemetry.NewSampler(o.Interval, 0, engine.ComponentLabels())
-				cfg.Telemetry = sampler
-			}
+			var observe func(*telemetry.Sampler)
 			if o.Observe != nil {
-				o.Observe(s, p.Name, sampler)
+				// Only cold runs have a live sampler; a memo hit reuses
+				// the stored series and never reaches this hook.
+				observe = func(sampler *telemetry.Sampler) { o.Observe(s, p.Name, sampler) }
 			}
 			var psp *obs.Span
 			if o.Span != nil {
@@ -86,12 +84,14 @@ func RecordContext(ctx context.Context, o RecordOptions) ([]registry.Run, error)
 			}
 			start := time.Now()
 			var res engine.Result
+			var series *telemetry.Series
+			var hit bool
 			if psp != nil {
 				esp := psp.Child("engine-run")
-				res = run(cfg, p)
+				res, series, hit = r.runSeries(cfg, p, !o.NoTelemetry, o.Interval, observe)
 				esp.End()
 			} else {
-				res = run(cfg, p)
+				res, series, hit = r.runSeries(cfg, p, !o.NoTelemetry, o.Interval, observe)
 			}
 			wall := time.Since(start)
 			if ctx.Err() != nil {
@@ -105,13 +105,8 @@ func RecordContext(ctx context.Context, o RecordOptions) ([]registry.Run, error)
 			}
 			if psp != nil {
 				psp.SetAttr(obs.Uint64("cycles", uint64(res.Cycles)),
-					obs.Duration("wall", wall))
+					obs.Duration("wall", wall), obs.Bool("memoized", hit))
 				psp.End()
-			}
-			var series *telemetry.Series
-			if sampler != nil {
-				snap := sampler.Snapshot()
-				series = &snap
 			}
 			rec := registry.FromResult(res, series)
 			rec.SetTiming(wall)

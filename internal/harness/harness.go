@@ -36,6 +36,23 @@ type Options struct {
 	// discard the result once the hook has fired. Nil (the default)
 	// leaves every run bit-identical to the unhooked engine.
 	Cancel func() bool
+	// Warmup streams this many instructions through the caches before
+	// each run's measured region (engine Config.Warmup). Besides its
+	// methodological role, a non-zero warm-up is what the memo's
+	// checkpoint path amortizes across schemes. Default 0.
+	Warmup uint64
+	// Memo, when non-nil, memoizes finished results and warm-up
+	// checkpoints across this runner's runs — and across sweeps, when
+	// callers share one Memo. Memoized results are bit-identical to
+	// cold runs. Nil (the default) runs everything cold.
+	Memo *Memo
+	// Traces, when non-nil, shares materialized op batches so the N
+	// schemes x M configs of a sweep generate each (bench, seed,
+	// instructions) trace once. Nil generates per run.
+	Traces *trace.Store
+	// Probe, when non-nil, observes the fan-out pool's occupancy
+	// (queue depth, running, completed) across the runner's sweeps.
+	Probe *PoolProbe
 }
 
 func (o *Options) fill() {
@@ -121,6 +138,7 @@ func (r *runner) cfg(s engine.Scheme) engine.Config {
 	return engine.Config{
 		Scheme:       s,
 		Instructions: r.o.Instructions,
+		Warmup:       r.o.Warmup,
 		FullMemory:   r.o.FullMemory,
 		Cancel:       r.o.Cancel,
 	}
@@ -129,7 +147,7 @@ func (r *runner) cfg(s engine.Scheme) engine.Config {
 // normalized runs cfg on p and normalizes to the secure_WB baseline.
 func (r *runner) normalized(cfg engine.Config, p trace.Profile) float64 {
 	base := r.baseline(p)
-	res := run(cfg, p)
+	res := r.run(cfg, p)
 	return float64(res.Cycles) / float64(base.Cycles)
 }
 
@@ -173,14 +191,14 @@ func TableV(o Options) *Experiment {
 	profs := r.o.profiles()
 	rows := make([][]float64, len(profs))
 	r.parallel(profs, func(i int, p trace.Profile) {
-		spFull := run(engine.Config{Scheme: engine.SchemeSP,
-			Instructions: r.o.Instructions, FullMemory: true, Cancel: r.o.Cancel}, p)
-		wbFull := run(engine.Config{Scheme: engine.SchemeSecureWB,
-			Instructions: r.o.Instructions, FullMemory: true, Cancel: r.o.Cancel}, p)
-		sp := run(engine.Config{Scheme: engine.SchemeSP,
-			Instructions: r.o.Instructions, Cancel: r.o.Cancel}, p)
-		o3 := run(engine.Config{Scheme: engine.SchemeO3,
-			Instructions: r.o.Instructions, Cancel: r.o.Cancel}, p)
+		spFull := r.run(engine.Config{Scheme: engine.SchemeSP,
+			Instructions: r.o.Instructions, Warmup: r.o.Warmup, FullMemory: true, Cancel: r.o.Cancel}, p)
+		wbFull := r.run(engine.Config{Scheme: engine.SchemeSecureWB,
+			Instructions: r.o.Instructions, Warmup: r.o.Warmup, FullMemory: true, Cancel: r.o.Cancel}, p)
+		sp := r.run(engine.Config{Scheme: engine.SchemeSP,
+			Instructions: r.o.Instructions, Warmup: r.o.Warmup, Cancel: r.o.Cancel}, p)
+		o3 := r.run(engine.Config{Scheme: engine.SchemeO3,
+			Instructions: r.o.Instructions, Warmup: r.o.Warmup, Cancel: r.o.Cancel}, p)
 		rows[i] = []float64{spFull.PPKI, p.Paper.SpFull, wbFull.PPKI, p.Paper.WBFull,
 			sp.PPKI, p.Paper.Sp, o3.PPKI, p.Paper.O3}
 	})
@@ -272,8 +290,8 @@ func Fig10(o Options) *Experiment {
 	reds := make([]float64, len(profs))
 	r.parallel(profs, func(i int, p trace.Profile) {
 		base := r.baseline(p)
-		o3 := run(r.cfg(engine.SchemeO3), p)
-		co := run(r.cfg(engine.SchemeCoalescing), p)
+		o3 := r.run(r.cfg(engine.SchemeO3), p)
+		co := r.run(r.cfg(engine.SchemeCoalescing), p)
 		rows[i] = []float64{
 			float64(o3.Cycles) / float64(base.Cycles),
 			float64(co.Cycles) / float64(base.Cycles),
@@ -311,7 +329,7 @@ func Fig11(o Options) *Experiment {
 		for c, es := range EpochSizes {
 			cfg := r.cfg(engine.SchemeO3)
 			cfg.EpochSize = es
-			row[c] = run(cfg, p).PPKI
+			row[c] = r.run(cfg, p).PPKI
 		}
 		rows[i] = row
 	})
@@ -419,12 +437,12 @@ func LLCSweep(o Options) *Experiment {
 	r.parallel(profs, func(i int, p trace.Profile) {
 		row := make([]float64, len(sizes))
 		for c, s := range sizes {
-			base := run(engine.Config{Scheme: engine.SchemeSecureWB,
-				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory,
+			base := r.run(engine.Config{Scheme: engine.SchemeSecureWB,
+				Instructions: r.o.Instructions, Warmup: r.o.Warmup, FullMemory: r.o.FullMemory,
 				LLCKB: s, Cancel: r.o.Cancel}, p)
 			cfg := r.cfg(engine.SchemeCoalescing)
 			cfg.LLCKB = s
-			res := run(cfg, p)
+			res := r.run(cfg, p)
 			row[c] = float64(res.Cycles) / float64(base.Cycles)
 		}
 		rows[i] = row
@@ -456,7 +474,7 @@ func CoalesceStats(o Options) *Experiment {
 	}
 	rows := make([]row, len(profs))
 	r.parallel(profs, func(i int, p trace.Profile) {
-		res := run(r.cfg(engine.SchemeCoalescing), p)
+		res := r.run(r.cfg(engine.SchemeCoalescing), p)
 		rows[i] = row{res.BMTNodeUpdates, res.BMTUpdatesNoCoal, res.CoalescingReduction()}
 	})
 	tab := stats.NewTable("benchmark", "nodeUpdates", "withoutCoal", "reduction")

@@ -24,7 +24,7 @@ func Latency(o Options) *Experiment {
 	r.parallel(profs, func(i int, p trace.Profile) {
 		var rw row
 		for _, s := range schemes {
-			res := run(r.cfg(s), p)
+			res := r.run(r.cfg(s), p)
 			rw.mean = append(rw.mean, res.PersistLatency.Mean())
 			rw.p99 = append(rw.p99, float64(res.PersistLatency.Percentile(99)))
 		}

@@ -36,12 +36,12 @@ func NVMSweep(o Options) *Experiment {
 		row := make([]float64, 0, len(nvmPoints)*2)
 		for _, pt := range nvmPoints {
 			ncfg := nvm.Config{ReadNS: pt.readNS, WriteNS: pt.writeNS}
-			base := run(engine.Config{Scheme: engine.SchemeSecureWB,
-				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
-			sp := run(engine.Config{Scheme: engine.SchemeSP,
-				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
-			co := run(engine.Config{Scheme: engine.SchemeCoalescing,
-				Instructions: r.o.Instructions, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
+			base := r.run(engine.Config{Scheme: engine.SchemeSecureWB,
+				Instructions: r.o.Instructions, Warmup: r.o.Warmup, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
+			sp := r.run(engine.Config{Scheme: engine.SchemeSP,
+				Instructions: r.o.Instructions, Warmup: r.o.Warmup, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
+			co := r.run(engine.Config{Scheme: engine.SchemeCoalescing,
+				Instructions: r.o.Instructions, Warmup: r.o.Warmup, FullMemory: r.o.FullMemory, NVM: ncfg}, p)
 			row = append(row,
 				float64(sp.Cycles)/float64(base.Cycles),
 				float64(co.Cycles)/float64(base.Cycles))

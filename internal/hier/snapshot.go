@@ -1,0 +1,49 @@
+package hier
+
+import (
+	"fmt"
+
+	"plp/internal/cache"
+)
+
+// Snapshot is a deep copy of a hierarchy's complete state: one cache
+// snapshot per level plus the memory-read counter. It backs the
+// engine's warm-up checkpoints.
+type Snapshot struct {
+	levels   []*cache.Snapshot
+	memReads uint64
+}
+
+// Snapshot captures the hierarchy's current state (deep copy).
+func (h *Hierarchy) Snapshot() *Snapshot {
+	s := &Snapshot{memReads: h.MemReads, levels: make([]*cache.Snapshot, len(h.levels))}
+	for i, c := range h.levels {
+		s.levels[i] = c.Snapshot()
+	}
+	return s
+}
+
+// Restore resets the hierarchy to a previously captured snapshot. The
+// target must have the same level count and per-level geometry; the
+// writeback wiring (OnWriteback, OnMemWriteback) is left untouched.
+func (h *Hierarchy) Restore(s *Snapshot) error {
+	if len(s.levels) != len(h.levels) {
+		return fmt.Errorf("hier: snapshot has %d levels, hierarchy has %d", len(s.levels), len(h.levels))
+	}
+	for i, c := range h.levels {
+		if err := c.Restore(s.levels[i]); err != nil {
+			return fmt.Errorf("hier: level %d: %w", i, err)
+		}
+	}
+	h.MemReads = s.memReads
+	return nil
+}
+
+// Bytes returns the snapshot's approximate memory footprint.
+func (s *Snapshot) Bytes() uint64 {
+	var n uint64
+	for _, l := range s.levels {
+		n += l.Bytes()
+	}
+	return n + 64
+}

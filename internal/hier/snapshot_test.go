@@ -1,0 +1,74 @@
+package hier
+
+import (
+	"reflect"
+	"testing"
+
+	"plp/internal/cache"
+)
+
+// TestHierarchySnapshotReplay: restoring a snapshot and replaying the
+// same demand stream reproduces hit depths, cascaded writebacks, and
+// MemReads exactly.
+func TestHierarchySnapshotReplay(t *testing.T) {
+	build := func() *Hierarchy { return Default(64, 8) } // tiny LLC forces cascades
+	access := func(h *Hierarchy, n int) []int {
+		depths := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			// 64K distinct lines overflow every level, so dirty
+			// evictions cascade all the way to memory.
+			l := cache.Line((uint64(i) * 2654435761) % 65536)
+			depths = append(depths, h.Access(l, i%2 == 0))
+		}
+		return depths
+	}
+
+	h := build()
+	wb := []cache.Line{}
+	h.OnMemWriteback = func(l cache.Line) { wb = append(wb, l) }
+	access(h, 12000)
+	snap := h.Snapshot()
+
+	wb = []cache.Line{}
+	wantDepths := access(h, 9000)
+	wantWB := append([]cache.Line{}, wb...)
+	wantReads := h.MemReads
+	if len(wantWB) == 0 {
+		t.Fatal("scenario produced no memory writebacks; test is vacuous")
+	}
+
+	if err := h.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	wb = []cache.Line{}
+	gotDepths := access(h, 9000)
+	if !reflect.DeepEqual(wantDepths, gotDepths) {
+		t.Fatal("hit depths diverged after restore")
+	}
+	if !reflect.DeepEqual(wantWB, wb) {
+		t.Fatal("memory writeback stream diverged after restore")
+	}
+	if h.MemReads != wantReads {
+		t.Fatalf("MemReads = %d, want %d", h.MemReads, wantReads)
+	}
+
+	// A snapshot restores into a *different* hierarchy of the same
+	// shape (the checkpoint use case: fresh machine, warmed state).
+	fresh := build()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatalf("restore into fresh hierarchy: %v", err)
+	}
+	wb2 := []cache.Line{}
+	fresh.OnMemWriteback = func(l cache.Line) { wb2 = append(wb2, l) }
+	if got := access(fresh, 9000); !reflect.DeepEqual(wantDepths, got) {
+		t.Fatal("fresh hierarchy diverged after restore")
+	}
+	if !reflect.DeepEqual(wantWB, wb2) {
+		t.Fatal("fresh hierarchy writeback stream diverged")
+	}
+
+	// Mismatched shape is rejected.
+	if err := Default(128, 8).Restore(snap); err == nil {
+		t.Fatal("restore across LLC geometries must fail")
+	}
+}

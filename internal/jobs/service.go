@@ -19,6 +19,7 @@ import (
 	"plp/internal/sim"
 	"plp/internal/stats"
 	"plp/internal/telemetry"
+	"plp/internal/trace"
 )
 
 // Config parameterizes a Service. Zero fields take defaults.
@@ -67,9 +68,24 @@ type Config struct {
 	// job and trace IDs. Nil logs nothing, exactly as before.
 	Log *slog.Logger
 
+	// Memo, when non-nil, is the sweep-point memo shared by every sweep
+	// job this service runs: repeated sweeps over the same
+	// (bench, scheme, config) points are served from the cache,
+	// bit-identical to cold runs (harness equivalence tests). Its
+	// counters surface on plpserve /metrics. Nil memoizes nothing.
+	Memo *harness.Memo
+	// Traces, when non-nil, is the shared trace batch cache: each
+	// (benchmark, seed, instructions) op stream is generated once and
+	// replayed by every run that needs it. Nil generates privately.
+	Traces *trace.Store
+	// Probe, when non-nil, observes the harness fan-out pools of every
+	// job (queue depth, occupancy high-water) for the /metrics gauges.
+	Probe *harness.PoolProbe
+
 	// Observe, when non-nil, additionally receives every engine run's
 	// live sampler as it starts (plpserve's legacy live view). Called
-	// concurrently from job workers.
+	// concurrently from job workers. Memoized (cache-hit) runs reuse
+	// their stored series and never reach this hook.
 	Observe func(jobID string, scheme engine.Scheme, bench string, s *telemetry.Sampler)
 	// OnFinish, when non-nil, is called after a job reaches a terminal
 	// state and has left its worker.
@@ -646,9 +662,13 @@ func (s *Service) runSweep(ctx context.Context, j *Job) (*registry.JobResult, er
 	ro := harness.RecordOptions{
 		Options: harness.Options{
 			Instructions: spec.Instructions,
+			Warmup:       spec.Warmup,
 			Benches:      spec.Benches,
 			FullMemory:   spec.FullMemory,
 			Parallel:     s.cfg.RunParallel,
+			Memo:         s.cfg.Memo,
+			Traces:       s.cfg.Traces,
+			Probe:        s.cfg.Probe,
 		},
 		Schemes:     spec.engineSchemes(),
 		Interval:    sim.Cycle(spec.Interval),
@@ -666,6 +686,7 @@ func (s *Service) runSweep(ctx context.Context, j *Job) (*registry.JobResult, er
 		return nil, err
 	}
 	f := registry.New("job-"+j.id, spec.Instructions, spec.FullMemory)
+	f.Warmup = spec.Warmup
 	f.Runs = runs
 	f.Sort()
 	return &registry.JobResult{Sweep: f}, nil
@@ -676,9 +697,13 @@ func (s *Service) runExperiment(ctx context.Context, j *Job) (*registry.JobResul
 	drv := harness.All()[spec.Experiment]
 	e := drv(harness.Options{
 		Instructions: spec.Instructions,
+		Warmup:       spec.Warmup,
 		Benches:      spec.Benches,
 		FullMemory:   spec.FullMemory,
 		Parallel:     s.cfg.RunParallel,
+		Memo:         s.cfg.Memo,
+		Traces:       s.cfg.Traces,
+		Probe:        s.cfg.Probe,
 		Cancel:       func() bool { return ctx.Err() != nil },
 	})
 	if err := ctx.Err(); err != nil {

@@ -53,6 +53,11 @@ type Spec struct {
 	Schemes []string `json:"schemes,omitempty"`
 	// Instructions per benchmark run (0 = harness default).
 	Instructions uint64 `json:"instructions,omitempty"`
+	// Warmup streams this many instructions through the caches before
+	// each run's measured region (engine Config.Warmup). With the
+	// service's shared memo, the warm-up work is checkpointed once per
+	// benchmark and resumed by every scheme.
+	Warmup uint64 `json:"warmup,omitempty"`
 	// FullMemory evaluates the "_full" configurations.
 	FullMemory bool `json:"fullMemory,omitempty"`
 

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -41,9 +42,10 @@ type Report struct {
 	OnlyInNew    []string
 	// FingerprintMismatch notes a differing recording environment.
 	FingerprintMismatch bool
-	// ConfigMismatch notes differing instructions / full-memory mode —
-	// cycle deltas are meaningless across different run lengths, so
-	// this forces a failure independent of the threshold.
+	// ConfigMismatch notes differing instructions / warm-up /
+	// full-memory mode — cycle deltas are meaningless across different
+	// run lengths, so this forces a failure independent of the
+	// threshold.
 	ConfigMismatch bool
 	// Throughput summarizes the simulator's own speed across the runs
 	// both files timed: total wall time old vs new and the aggregate
@@ -73,7 +75,7 @@ func (r Report) Failed() bool {
 func (r Report) String() string {
 	var b strings.Builder
 	if r.ConfigMismatch {
-		b.WriteString("CONFIG MISMATCH: run length / memory mode differ; cycles are not comparable\n")
+		b.WriteString("CONFIG MISMATCH: run length / warm-up / memory mode differ; cycles are not comparable\n")
 	}
 	if r.FingerprintMismatch {
 		b.WriteString("note: recording environments differ (go version / OS / arch)\n")
@@ -105,6 +107,69 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// Identical checks two files for bit-identical simulation results:
+// every run key present in either file must exist in both with exactly
+// equal contents, ignoring only the wall-clock fields (WallNS,
+// StoresPerSec), which legitimately differ between recordings. It
+// returns a deterministic list of human-readable differences, empty
+// when the files match. This is the memoization correctness gate: a
+// memoized sweep must be Identical to a cold one, not merely within a
+// noise threshold.
+func Identical(old, new *File) []string {
+	var diffs []string
+	if old.Instructions != new.Instructions {
+		diffs = append(diffs, fmt.Sprintf("instructions differ: %d vs %d", old.Instructions, new.Instructions))
+	}
+	if old.Warmup != new.Warmup {
+		diffs = append(diffs, fmt.Sprintf("warmup differs: %d vs %d", old.Warmup, new.Warmup))
+	}
+	if old.FullMemory != new.FullMemory {
+		diffs = append(diffs, "full-memory mode differs")
+	}
+	oldByKey := make(map[string]*Run, len(old.Runs))
+	for i := range old.Runs {
+		oldByKey[old.Runs[i].Key()] = &old.Runs[i]
+	}
+	keys := make([]string, 0, len(oldByKey))
+	for k := range oldByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := make(map[string]bool, len(new.Runs))
+	newByKey := make(map[string]*Run, len(new.Runs))
+	for i := range new.Runs {
+		newByKey[new.Runs[i].Key()] = &new.Runs[i]
+	}
+	for _, k := range keys {
+		n, ok := newByKey[k]
+		if !ok {
+			diffs = append(diffs, "missing in new: "+k)
+			continue
+		}
+		seen[k] = true
+		a, b := *oldByKey[k], *n
+		a.WallNS, a.StoresPerSec = 0, 0
+		b.WallNS, b.StoresPerSec = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			d := fmt.Sprintf("%s: runs differ", k)
+			if a.Cycles != b.Cycles {
+				d = fmt.Sprintf("%s: cycles %d vs %d", k, a.Cycles, b.Cycles)
+			}
+			diffs = append(diffs, d)
+		}
+	}
+	extra := make([]string, 0)
+	for k := range newByKey {
+		if !seen[k] {
+			if _, ok := oldByKey[k]; !ok {
+				extra = append(extra, "only in new: "+k)
+			}
+		}
+	}
+	sort.Strings(extra)
+	return append(diffs, extra...)
+}
+
 // Compare matches runs by (scheme, bench) and classifies each cycle
 // delta against the noise threshold (e.g. 0.02 = 2%). Output slices
 // are sorted by run key, so the report is deterministic regardless of
@@ -114,6 +179,7 @@ func Compare(old, new *File, threshold float64) Report {
 		Threshold:           threshold,
 		FingerprintMismatch: old.Fingerprint != new.Fingerprint,
 		ConfigMismatch: old.Instructions != new.Instructions ||
+			old.Warmup != new.Warmup ||
 			old.FullMemory != new.FullMemory,
 	}
 	oldByKey := make(map[string]*Run, len(old.Runs))

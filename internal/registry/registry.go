@@ -142,6 +142,31 @@ func FromResult(res engine.Result, series *telemetry.Series) Run {
 	}
 }
 
+// MemoInfo summarizes the memoization stack's behaviour while a file
+// was recorded: sweep-point and checkpoint hit counts, the trace-cache
+// traffic, and (for multi-pass recordings) cold-vs-warm wall time.
+// Informational only — comparisons never gate on it; the memoized
+// cycle counts themselves are gated bit-identical to cold runs.
+type MemoInfo struct {
+	Passes  int     `json:"passes"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+
+	CheckpointHits   uint64 `json:"checkpointHits,omitempty"`
+	CheckpointMisses uint64 `json:"checkpointMisses,omitempty"`
+
+	TraceHits   uint64 `json:"traceHits,omitempty"`
+	TraceMisses uint64 `json:"traceMisses,omitempty"`
+
+	// ColdWallNS/WarmWallNS are the first (cold) and last (memoized)
+	// pass's total wall time; Speedup is their ratio (>1 = the memo
+	// paid off). Zero when the recording ran a single pass.
+	ColdWallNS uint64  `json:"coldWallNS,omitempty"`
+	WarmWallNS uint64  `json:"warmWallNS,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+}
+
 // File is one registry file: a tagged, fingerprinted set of runs.
 type File struct {
 	Version     int         `json:"version"`
@@ -150,7 +175,15 @@ type File struct {
 	Fingerprint Fingerprint `json:"fingerprint"`
 
 	Instructions uint64 `json:"instructions"`
-	FullMemory   bool   `json:"fullMemory,omitempty"`
+	// Warmup is the per-run warm-up instruction count the sweep used
+	// (engine Config.Warmup). Cycle counts are only comparable between
+	// files recorded with the same warm-up, so Compare gates on it.
+	Warmup     uint64 `json:"warmup,omitempty"`
+	FullMemory bool   `json:"fullMemory,omitempty"`
+
+	// Memo, when present, records the memoization counters of the
+	// recording sweep (see MemoInfo).
+	Memo *MemoInfo `json:"memo,omitempty"`
 
 	Runs []Run `json:"runs"`
 }

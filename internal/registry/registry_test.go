@@ -205,3 +205,62 @@ func TestCompareDeterministicReport(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareWarmupMismatch(t *testing.T) {
+	a := mkFile("a", run("sp", "x", 1000))
+	b := mkFile("b", run("sp", "x", 1000))
+	b.Warmup = 500_000
+	rep := Compare(a, b, 0.02)
+	if !rep.ConfigMismatch || !rep.Failed() {
+		t.Fatal("differing warm-up must force a config-mismatch failure")
+	}
+}
+
+// Identical is the memoization gate: exact equality modulo wall clock.
+func TestIdentical(t *testing.T) {
+	a := mkFile("cold", run("sp", "x", 1000), run("o3", "x", 900))
+	b := mkFile("warm", run("sp", "x", 1000), run("o3", "x", 900))
+	// Wall-clock fields may differ freely.
+	b.Runs[0].WallNS, b.Runs[0].StoresPerSec = 123456, 1e6
+	if diffs := Identical(a, b); len(diffs) != 0 {
+		t.Fatalf("timing-only differences must be ignored: %v", diffs)
+	}
+	// One cycle off is a failure even at any threshold.
+	b.Runs[1].Cycles = 901
+	diffs := Identical(a, b)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "900 vs 901") {
+		t.Fatalf("want exactly one cycle diff, got %v", diffs)
+	}
+	// Missing and extra runs are both surfaced.
+	c := mkFile("warm", run("sp", "x", 1000), run("pipeline", "x", 700))
+	diffs = Identical(a, c)
+	if len(diffs) != 2 {
+		t.Fatalf("want missing+extra, got %v", diffs)
+	}
+	// Config differences gate too.
+	d := mkFile("warm", run("sp", "x", 1000), run("o3", "x", 900))
+	d.Warmup = 1
+	if diffs := Identical(a, d); len(diffs) != 1 || !strings.Contains(diffs[0], "warmup") {
+		t.Fatalf("want a warmup diff, got %v", diffs)
+	}
+}
+
+func TestMemoInfoRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_memo.json")
+	f := New("memo", 1000, false)
+	f.Warmup = 500
+	f.Memo = &MemoInfo{Passes: 2, Hits: 6, Misses: 6, HitRate: 0.5,
+		CheckpointMisses: 2, TraceMisses: 2,
+		ColdWallNS: 2e9, WarmWallNS: 1e9, Speedup: 2}
+	f.Runs = []Run{run("sp", "x", 1000)}
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Warmup != 500 || g.Memo == nil || g.Memo.Speedup != 2 || g.Memo.Hits != 6 {
+		t.Fatalf("memo info lost in round trip: warmup=%d memo=%+v", g.Warmup, g.Memo)
+	}
+}

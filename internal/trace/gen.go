@@ -227,6 +227,18 @@ func (g *Generator) Next() Op {
 // satisfying Source.
 func (g *Generator) Progress() uint64 { return g.Instructions }
 
+// CloneSource returns an independent deep copy of the generator at
+// its current position: both copies produce the identical remaining
+// op stream. It implements CloneableSource, which lets the engine
+// checkpoint a warm-up boundary and the batch store hand out
+// positioned replays.
+func (g *Generator) CloneSource() Source {
+	c := *g // history ring and samplers are values; the copy is deep
+	rng := *g.rng
+	c.rng = &rng
+	return &c
+}
+
 // BatchSource is an optional Source extension: the producer fills a
 // caller-provided buffer instead of handing out one op per interface
 // call, amortizing dispatch overhead in the simulator's hot loop. The
