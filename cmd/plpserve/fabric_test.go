@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"plp/internal/fabric"
+	"plp/internal/harness"
+	"plp/internal/jobs"
+	"plp/internal/metrics"
+	"plp/internal/registry"
+)
+
+func TestVersionEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /version: %d", resp.StatusCode)
+	}
+	var v fabric.VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.Module == "" {
+		t.Fatalf("version info incomplete: %+v", v)
+	}
+	if len(v.Schemes) != 8 {
+		t.Fatalf("schemes = %v, want all 8", v.Schemes)
+	}
+}
+
+func TestDialableAddr(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"0.0.0.0:8090", "127.0.0.1:8090"},
+		{"[::]:8090", "127.0.0.1:8090"},
+		{"127.0.0.1:8090", "127.0.0.1:8090"},
+		{"10.1.2.3:80", "10.1.2.3:80"},
+	}
+	for _, tc := range tests {
+		a, err := net.ResolveTCPAddr("tcp", tc.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.in, err)
+		}
+		if got := dialableAddr(a); got != tc.want {
+			t.Errorf("dialableAddr(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// startWorkerServer brings up a full plpserve-style worker instance
+// (the same handler() wiring main uses) joined to coordAddr.
+func startWorkerServer(t *testing.T, ctx context.Context, coordAddr string) {
+	t.Helper()
+	api := newServer(jobs.Config{Workers: 1})
+	ts := httptest.NewUnstartedServer(nil)
+	w := fabric.NewWorker(fabric.WorkerConfig{
+		Addr:        ts.Listener.Addr().String(),
+		Coordinator: coordAddr,
+	})
+	api.worker = w
+	ts.Config.Handler = api.handler()
+	ts.Start()
+	t.Cleanup(ts.Close)
+	go w.Run(ctx)
+}
+
+// TestDistSweepOverHTTP is the end-to-end service test: a coordinator
+// instance and two worker instances (each the full plpserve handler
+// stack), a distsweep job submitted over HTTP, and the merged result
+// checked identical to a direct single-process Record.
+func TestDistSweepOverHTTP(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	coord := newServerWithFabric(jobs.Config{Workers: 1},
+		func(reg *metrics.Registry) *fabric.Coordinator {
+			return fabric.NewCoordinator(fabric.CoordinatorConfig{Metrics: reg})
+		})
+	cts := httptest.NewServer(coord.handler())
+	t.Cleanup(func() {
+		cts.Close()
+		dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer dcancel()
+		_, _ = coord.svc.Drain(dctx)
+	})
+	coordAddr := strings.TrimPrefix(cts.URL, "http://")
+
+	startWorkerServer(t, ctx, coordAddr)
+	startWorkerServer(t, ctx, coordAddr)
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.coord.LiveWorkers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers did not register: %d live", coord.coord.LiveWorkers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The fabric state endpoint lists both workers.
+	var st fabric.State
+	resp, err := http.Get(cts.URL + fabric.PathState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Workers) != 2 {
+		t.Fatalf("fabric state workers = %+v, want 2", st.Workers)
+	}
+
+	_, jst := postJob(t, cts,
+		`{"kind":"distsweep","benches":["gamess","gcc"],"instructions":40000,"noTelemetry":true}`)
+	if jst.ID == "" {
+		t.Fatal("submit returned no job ID")
+	}
+	for end := time.Now().Add(120 * time.Second); ; {
+		s := getStatus(t, cts, jst.ID)
+		if s.State.Terminal() {
+			if s.State != jobs.StateSucceeded {
+				t.Fatalf("job %s: %s (%s)", jst.ID, s.State, s.Error)
+			}
+			break
+		}
+		if time.Now().After(end) {
+			t.Fatalf("job %s did not finish: %s", jst.ID, s.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err = http.Get(cts.URL + "/jobs/" + jst.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: %d", resp.StatusCode)
+	}
+	var res registry.JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Sweep == nil {
+		t.Fatal("distsweep result has no sweep payload")
+	}
+
+	o := harness.RecordOptions{
+		Options:     harness.Options{Instructions: 40_000, Benches: []string{"gamess", "gcc"}},
+		NoTelemetry: true,
+	}
+	direct := registry.New("direct", o.Instructions, false)
+	direct.Runs = harness.Record(o)
+	direct.Sort()
+	if diffs := registry.Identical(direct, res.Sweep); len(diffs) != 0 {
+		t.Fatalf("HTTP distsweep differs from direct Record:\n%s", strings.Join(diffs, "\n"))
+	}
+}

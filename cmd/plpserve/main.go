@@ -23,6 +23,19 @@
 //	/runs                    JSON list of runs (sorted) with status
 //	/timeseries?scheme=&bench=   one run's telemetry series as JSON
 //
+// Distributed sweep fabric (internal/fabric):
+//
+//	GET  /version           build fingerprint: module, go version,
+//	                        supported scheme set (worker compat check)
+//	-coordinator            run the coordinator role; "distsweep" jobs
+//	                        shard across joined workers (POST /fabric/
+//	                        register|heartbeat, GET /fabric/state)
+//	-join host:port         run the worker role against a coordinator
+//	                        (serves POST /fabric/run)
+//	-fabric-workers N       (with -coordinator) fork N local worker
+//	                        processes — the single-binary mode CI and
+//	                        laptops use to exercise the whole fabric
+//
 // SIGTERM/SIGINT drain gracefully: intake stops (new submissions get
 // 503), queued and running jobs finish, then the process exits. A
 // second signal — or the -drain-timeout deadline — cancels the
@@ -33,12 +46,15 @@
 //	plpserve -addr :8090
 //	plpserve -sweep -instr 50000000 -benches gamess,gcc -o sweep.json
 //	curl -s localhost:8090/jobs -d '{"kind":"sweep","benches":["gcc"]}'
+//	plpserve -coordinator -fabric-workers 3
+//	curl -s localhost:8090/jobs -d '{"kind":"distsweep","benches":["gcc"]}'
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -47,8 +63,10 @@ import (
 	"syscall"
 	"time"
 
+	"plp/internal/fabric"
 	"plp/internal/harness"
 	"plp/internal/jobs"
+	"plp/internal/metrics"
 	"plp/internal/obs"
 	"plp/internal/registry"
 	"plp/internal/trace"
@@ -71,6 +89,11 @@ func main() {
 		traceCap  = flag.Int("trace-capacity", 0, "finished job traces retained for /jobs/{id}/trace (0 = default 256)")
 		traceOut  = flag.String("trace-jsonl", "", "append every finished job's spans to this JSONL file")
 
+		coordRole = flag.Bool("coordinator", false, "run the distributed sweep fabric coordinator: distsweep jobs shard across joined workers")
+		join      = flag.String("join", "", "join the fabric coordinator at this host:port as a worker")
+		fabricN   = flag.Int("fabric-workers", 0, "(with -coordinator) fork this many local worker processes, so one binary exercises the whole fabric")
+		advertise = flag.String("advertise", "", "dial-back host:port a worker advertises to the coordinator (default: the bound -addr with a 127.0.0.1 host)")
+
 		sweep    = flag.Bool("sweep", false, "submit an initial recording sweep job on startup")
 		instr    = flag.Uint64("instr", 10_000_000, "initial sweep: instructions per benchmark run")
 		warmup   = flag.Uint64("warmup", 0, "initial sweep: warm-up instructions per run (checkpointed once per benchmark)")
@@ -81,6 +104,15 @@ func main() {
 		out      = flag.String("o", "", "initial sweep: also write the finished sweep to this registry file")
 	)
 	flag.Parse()
+
+	if *join != "" && *coordRole {
+		fmt.Fprintln(os.Stderr, "plpserve: -join and -coordinator are exclusive roles")
+		os.Exit(2)
+	}
+	if *fabricN > 0 && !*coordRole {
+		fmt.Fprintln(os.Stderr, "plpserve: -fabric-workers requires -coordinator")
+		os.Exit(2)
+	}
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -114,15 +146,32 @@ func main() {
 		traces = trace.NewStore(*traceMB << 20)
 	}
 
+	probe := &harness.PoolProbe{}
+	// stack is this instance's local execution environment, shared by
+	// the job service and (per role) the fabric worker or the
+	// coordinator's no-workers-left fallback.
+	stack := fabric.Stack{Memo: memo, Traces: traces, Probe: probe, Parallel: *parallel}
+
+	var mkCoord func(*metrics.Registry) *fabric.Coordinator
+	if *coordRole {
+		mkCoord = func(reg *metrics.Registry) *fabric.Coordinator {
+			return fabric.NewCoordinator(fabric.CoordinatorConfig{
+				Local:   stack,
+				Metrics: reg,
+				Log:     logger,
+			})
+		}
+	}
+
 	var initialID string
-	api := newServer(jobs.Config{
+	api := newServerWithFabric(jobs.Config{
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		RunParallel:    *parallel,
 		DefaultTimeout: *timeout,
 		Memo:           memo,
 		Traces:         traces,
-		Probe:          &harness.PoolProbe{},
+		Probe:          probe,
 		Tracer:         obs.New(obsCfg),
 		Log:            logger,
 		OnFinish: func(j *jobs.Job) {
@@ -140,7 +189,7 @@ func main() {
 				fmt.Printf("plpserve: sweep written to %s\n", *out)
 			}
 		},
-	})
+	}, mkCoord)
 	svc := api.svc
 
 	if *sweep || *out != "" {
@@ -166,22 +215,61 @@ func main() {
 		fmt.Printf("plpserve: initial sweep submitted as job %s (%d instructions/run)\n", j.ID(), *instr)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: withDebug(api.handler())}
-
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// Listen explicitly (not ListenAndServe) so `-addr :0` works for
+	// scripts and tests: the actually-bound address prints as one
+	// parseable `plpserve: addr=<host:port>` line before any request is
+	// served, eliminating port-discovery races.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plpserve: %v\n", err)
+		os.Exit(1)
+	}
+	bound := dialableAddr(ln.Addr())
+	fmt.Printf("plpserve: addr=%s\n", bound)
 
 	errc := make(chan error, 1)
 	if *mAddr != "" {
 		// A dedicated scrape listener: the Prometheus exposition stays
 		// reachable (and firewallable) separately from the job API.
+		mln, err := net.Listen("tcp", *mAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plpserve: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("plpserve: metrics-addr=%s\n", dialableAddr(mln.Addr()))
 		mm := http.NewServeMux()
 		mm.Handle("GET /metrics", api.m.reg.Handler())
-		go func() { errc <- http.ListenAndServe(*mAddr, mm) }()
-		fmt.Printf("plpserve: metrics on %s/metrics\n", *mAddr)
+		go func() { errc <- http.Serve(mln, mm) }()
 	}
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("plpserve: listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
+
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = bound
+		}
+		w := fabric.NewWorker(fabric.WorkerConfig{
+			Addr:        adv,
+			Coordinator: *join,
+			Stack:       stack,
+			Tracer:      api.tr,
+			Log:         logger,
+		})
+		// Assigned before handler() below builds the mux, so the unit
+		// endpoint mounts; the join/heartbeat loop runs until shutdown.
+		api.worker = w
+		go w.Run(ctx)
+		fmt.Printf("plpserve: fabric worker advertising %s to coordinator %s\n", adv, *join)
+	}
+
+	srv := &http.Server{Handler: withDebug(api.handler())}
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("plpserve: listening on %s (%d workers, queue %d)\n", bound, *workers, *queue)
+
+	children := spawnFabricWorkers(*fabricN, bound, *logLevel, *logFormat)
+	defer stopFabricWorkers(children)
 
 	select {
 	case err := <-errc:

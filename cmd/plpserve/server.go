@@ -10,7 +10,9 @@ import (
 	"sync"
 
 	"plp/internal/engine"
+	"plp/internal/fabric"
 	"plp/internal/jobs"
+	"plp/internal/metrics"
 	"plp/internal/obs"
 	"plp/internal/registry"
 	"plp/internal/telemetry"
@@ -119,6 +121,14 @@ type server struct {
 	st  *store
 	m   *serverMetrics
 	tr  *obs.Tracer
+
+	// coord is set when this instance runs the fabric coordinator role
+	// (-coordinator): its registration/heartbeat/state endpoints mount
+	// on the API mux. worker is set for the worker role (-join): its
+	// unit-execution endpoint mounts the same way. Both are assigned
+	// before handler() is called.
+	coord  *fabric.Coordinator
+	worker *fabric.Worker
 }
 
 // newServer wires one complete service instance: its own metrics
@@ -127,6 +137,14 @@ type server struct {
 // nothing here registers into global state except the one-time expvar
 // bridge, which only the first instance wins (see bindExpvar).
 func newServer(cfg jobs.Config) *server {
+	return newServerWithFabric(cfg, nil)
+}
+
+// newServerWithFabric is newServer for a coordinator instance: mkCoord
+// (when non-nil) builds the fabric coordinator against this instance's
+// metrics registry, and the job service is wired to shard distsweep
+// jobs through it.
+func newServerWithFabric(cfg jobs.Config, mkCoord func(*metrics.Registry) *fabric.Coordinator) *server {
 	m := newServerMetrics()
 	st := newStore(m)
 	userObserve := cfg.Observe
@@ -165,7 +183,12 @@ func newServer(cfg jobs.Config) *server {
 		cfg.Tracer = obs.New(obs.Config{})
 	}
 	bindExpvar(m)
-	return &server{svc: jobs.New(cfg), st: st, m: m, tr: cfg.Tracer}
+	var coord *fabric.Coordinator
+	if mkCoord != nil {
+		coord = mkCoord(m.reg)
+		cfg.Fabric = coord
+	}
+	return &server{svc: jobs.New(cfg), st: st, m: m, tr: cfg.Tracer, coord: coord}
 }
 
 // jsonError writes a {"error": ...} body with the given status.
@@ -197,6 +220,19 @@ func (s *server) handler() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /readyz", s.readyz)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
+	// Every instance serves its build fingerprint: the fabric
+	// coordinator dials it back as the worker registration compat check,
+	// and humans/scripts use it to see what a server can simulate.
+	mux.HandleFunc("GET "+fabric.PathVersion, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, fabric.CurrentVersion())
+	})
+	if s.coord != nil {
+		s.coord.Mount(mux)
+	}
+	if s.worker != nil {
+		// Only the unit endpoint: /version is already mounted above.
+		mux.HandleFunc("POST "+fabric.PathRun, s.worker.HandleRun)
+	}
 
 	mux.HandleFunc("GET /runs", s.legacyRuns)
 	mux.HandleFunc("GET /timeseries", s.legacyTimeseries)

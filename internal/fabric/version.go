@@ -1,0 +1,66 @@
+package fabric
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"plp/internal/engine"
+)
+
+// VersionInfo is what GET /version reports: enough for a coordinator
+// to decide whether a worker may join. The scheme set is the gating
+// field — two processes that disagree on which persist schemes exist
+// would shard a sweep they cannot both run; module and Go versions are
+// informational context for the rejection message and the logs.
+type VersionInfo struct {
+	Module    string   `json:"module"`
+	GoVersion string   `json:"goVersion"`
+	Schemes   []string `json:"schemes"`
+}
+
+// SupportedSchemes lists every scheme this build can simulate: the six
+// evaluated (Table IV order) plus the two extension schemes.
+func SupportedSchemes() []string {
+	schemes := append(engine.Schemes(), engine.SchemeSGXTree, engine.SchemeColocated)
+	out := make([]string, len(schemes))
+	for i, s := range schemes {
+		out[i] = string(s)
+	}
+	return out
+}
+
+// CurrentVersion returns the running build's version info.
+func CurrentVersion() VersionInfo {
+	v := VersionInfo{
+		Module:    "plp",
+		GoVersion: runtime.Version(),
+		Schemes:   SupportedSchemes(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		v.Module = bi.Main.Path + " " + bi.Main.Version
+	}
+	return v
+}
+
+// CompatibleWith reports whether a worker advertising w may join a
+// coordinator running v, with a human-readable reason when not. Only
+// the scheme sets gate: the simulator is pure integer arithmetic, so
+// differing Go or module versions are logged, not rejected.
+func (v VersionInfo) CompatibleWith(w VersionInfo) (ok bool, reason string) {
+	if !schemesEqual(v.Schemes, w.Schemes) {
+		return false, "scheme sets differ: coordinator supports " +
+			join(v.Schemes) + ", worker supports " + join(w.Schemes)
+	}
+	return true, ""
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

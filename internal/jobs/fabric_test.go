@@ -1,0 +1,139 @@
+package jobs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"plp/internal/fabric"
+	"plp/internal/harness"
+	"plp/internal/registry"
+)
+
+// startFabric brings up a coordinator and n workers over httptest and
+// waits for every worker to register.
+func startFabric(t *testing.T, n int) *fabric.Coordinator {
+	t.Helper()
+	c := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Heartbeat: 50 * time.Millisecond,
+	})
+	cmux := http.NewServeMux()
+	c.Mount(cmux)
+	csrv := httptest.NewServer(cmux)
+	t.Cleanup(csrv.Close)
+	coordAddr := strings.TrimPrefix(csrv.URL, "http://")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < n; i++ {
+		wmux := http.NewServeMux()
+		wsrv := httptest.NewServer(wmux)
+		t.Cleanup(wsrv.Close)
+		w := fabric.NewWorker(fabric.WorkerConfig{
+			Addr:        strings.TrimPrefix(wsrv.URL, "http://"),
+			Coordinator: coordAddr,
+		})
+		w.Mount(wmux)
+		go w.Run(ctx)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.LiveWorkers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers registered", c.LiveWorkers(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return c
+}
+
+// TestDistSweepThroughFabric submits a distributed sweep against a
+// live two-worker fabric and demands the result be identical to a
+// direct single-process Record of the same options.
+func TestDistSweepThroughFabric(t *testing.T) {
+	o := harness.RecordOptions{
+		Options:     harness.Options{Instructions: 40_000, Benches: []string{"gamess", "gcc"}},
+		NoTelemetry: true,
+	}
+	direct := registry.New("direct", o.Instructions, false)
+	direct.Runs = harness.Record(o)
+	direct.Sort()
+
+	c := startFabric(t, 2)
+	s, w := newTestService(t, Config{Workers: 1, Fabric: c})
+	j, err := s.Submit(Spec{
+		Kind:         KindDistSweep,
+		Benches:      []string{"gamess", "gcc"},
+		Instructions: 40_000,
+		NoTelemetry:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.wait(t, j, 60*time.Second)
+	if st := j.State(); st != StateSucceeded {
+		t.Fatalf("job state %s, status %+v", st, j.Status(false))
+	}
+	res := j.Result()
+	if res == nil || res.Sweep == nil {
+		t.Fatal("succeeded distsweep job has no sweep result")
+	}
+	if diffs := registry.Identical(direct, res.Sweep); len(diffs) != 0 {
+		t.Fatalf("fabric sweep differs from direct Record:\n%s", strings.Join(diffs, "\n"))
+	}
+	// Progress streamed: every committed shard counted.
+	st := j.Status(false)
+	if st.TotalRuns == 0 || st.StartedRuns != st.TotalRuns {
+		t.Fatalf("distsweep progress did not stream commits: started %d / total %d",
+			st.StartedRuns, st.TotalRuns)
+	}
+}
+
+// TestDistSweepFallsBackWithoutFabric: the kind is always submittable —
+// with no coordinator configured it runs on the local pool and still
+// matches the direct result.
+func TestDistSweepFallsBackWithoutFabric(t *testing.T) {
+	o := harness.RecordOptions{
+		Options:     harness.Options{Instructions: 40_000, Benches: []string{"gamess"}},
+		NoTelemetry: true,
+	}
+	direct := registry.New("direct", o.Instructions, false)
+	direct.Runs = harness.Record(o)
+	direct.Sort()
+
+	s, w := newTestService(t, Config{Workers: 1})
+	j, err := s.Submit(Spec{
+		Kind:         KindDistSweep,
+		Benches:      []string{"gamess"},
+		Instructions: 40_000,
+		NoTelemetry:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.wait(t, j, 60*time.Second)
+	if st := j.State(); st != StateSucceeded {
+		t.Fatalf("job state %s", st)
+	}
+	if diffs := registry.Identical(direct, j.Result().Sweep); len(diffs) != 0 {
+		t.Fatalf("local-fallback distsweep differs from direct Record:\n%s", strings.Join(diffs, "\n"))
+	}
+}
+
+// TestDistSweepSpec covers validation of the new kind.
+func TestDistSweepSpec(t *testing.T) {
+	if err := (Spec{Kind: KindDistSweep}).Validate(); err != nil {
+		t.Fatalf("bare distsweep spec should validate: %v", err)
+	}
+	if err := (Spec{Kind: KindDistSweep, Experiment: "fig8"}).Validate(); err == nil {
+		t.Fatal("distsweep with an experiment ID should be invalid")
+	}
+	if err := (Spec{Kind: KindDistSweep, Benches: []string{"nope"}}).Validate(); err == nil {
+		t.Fatal("unknown bench should be invalid")
+	}
+	if got := (Spec{Kind: KindDistSweep, Benches: []string{"gamess", "gcc"}}).plannedRuns(); got != 12 {
+		t.Fatalf("plannedRuns = %d, want 12 (2 benches x 6 default schemes)", got)
+	}
+}

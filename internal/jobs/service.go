@@ -12,6 +12,7 @@ import (
 
 	"plp/internal/crash"
 	"plp/internal/engine"
+	"plp/internal/fabric"
 	"plp/internal/harness"
 	"plp/internal/metrics"
 	"plp/internal/obs"
@@ -81,6 +82,13 @@ type Config struct {
 	// Probe, when non-nil, observes the harness fan-out pools of every
 	// job (queue depth, occupancy high-water) for the /metrics gauges.
 	Probe *harness.PoolProbe
+
+	// Fabric, when non-nil, is the distributed sweep coordinator a
+	// KindDistSweep job shards through. A distsweep submitted with no
+	// fabric — or a fabric with no registered workers — runs on the
+	// local pool exactly like KindSweep, so the kind is always safe to
+	// submit; the result is identical either way.
+	Fabric *fabric.Coordinator
 
 	// Observe, when non-nil, additionally receives every engine run's
 	// live sampler as it starts (plpserve's legacy live view). Called
@@ -647,6 +655,8 @@ func (s *Service) execute(ctx context.Context, j *Job) (*registry.JobResult, err
 	switch j.spec.Kind {
 	case KindSweep:
 		return s.runSweep(ctx, j)
+	case KindDistSweep:
+		return s.runDistSweep(ctx, j)
 	case KindExperiment:
 		return s.runExperiment(ctx, j)
 	case KindCrash:
@@ -689,6 +699,47 @@ func (s *Service) runSweep(ctx context.Context, j *Job) (*registry.JobResult, er
 	f.Warmup = spec.Warmup
 	f.Runs = runs
 	f.Sort()
+	return &registry.JobResult{Sweep: f}, nil
+}
+
+// runDistSweep shards the sweep across the fabric's registered
+// workers; with no fabric or no live workers it degrades to the local
+// pool (runSweep), logging the downgrade so operators can tell which
+// path a job took.
+func (s *Service) runDistSweep(ctx context.Context, j *Job) (*registry.JobResult, error) {
+	span := obs.SpanFromContext(ctx)
+	if s.cfg.Fabric == nil || s.cfg.Fabric.LiveWorkers() == 0 {
+		span.Event("distsweep-local-fallback")
+		if s.cfg.Log != nil {
+			reason := "no fabric configured"
+			if s.cfg.Fabric != nil {
+				reason = "no workers registered"
+			}
+			s.cfg.Log.Info("distsweep-local-fallback", "job", j.id, "reason", reason,
+				"trace", traceIDString(j.TraceContext()))
+		}
+		return s.runSweep(ctx, j)
+	}
+	spec := j.spec
+	sw := fabric.Sweep{
+		Tag:          "job-" + j.id,
+		Benches:      spec.Benches,
+		Schemes:      spec.Schemes,
+		Instructions: spec.Instructions,
+		Warmup:       spec.Warmup,
+		FullMemory:   spec.FullMemory,
+		Interval:     spec.Interval,
+		NoTelemetry:  spec.NoTelemetry,
+	}
+	f, err := s.cfg.Fabric.RunSweep(ctx, sw, span, func(u fabric.Unit) {
+		// Shards stream back as they commit: count each toward the job's
+		// progress. There is no live sampler — the run executed in another
+		// process — so the live view shows the key without a series.
+		j.observe(engine.Scheme(u.Scheme), u.Bench, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &registry.JobResult{Sweep: f}, nil
 }
 

@@ -31,6 +31,13 @@ const (
 	// KindSweep records a (benchmark x scheme) registry sweep — the
 	// job-mode equivalent of `plpbench record`.
 	KindSweep Kind = "sweep"
+	// KindDistSweep records the same sweep sharded across the
+	// registered fabric workers (internal/fabric). With no fabric
+	// configured — or no workers registered — it degrades to KindSweep's
+	// local pool, so submitting one is always safe; either way the
+	// result is identical (the simulator is deterministic and the shard
+	// merge is order-independent).
+	KindDistSweep Kind = "distsweep"
 	// KindExperiment reproduces one harness table/figure — the
 	// job-mode equivalent of `plptables -exp`.
 	KindExperiment Kind = "experiment"
@@ -105,7 +112,7 @@ func (s Spec) Validate() error {
 		}
 	}
 	switch s.Kind {
-	case KindSweep:
+	case KindSweep, KindDistSweep:
 		if s.Experiment != "" {
 			return invalidf("experiment set on a sweep job")
 		}
@@ -133,8 +140,8 @@ func (s Spec) Validate() error {
 			}
 		}
 	default:
-		return invalidf("unknown kind %q (known: %s, %s, %s)",
-			s.Kind, KindSweep, KindExperiment, KindCrash)
+		return invalidf("unknown kind %q (known: %s, %s, %s, %s)",
+			s.Kind, KindSweep, KindDistSweep, KindExperiment, KindCrash)
 	}
 	return nil
 }
@@ -151,7 +158,7 @@ func (s Spec) engineSchemes() []engine.Scheme {
 // plannedRuns returns how many engine runs the job will schedule, for
 // progress reporting (0 = unknown).
 func (s Spec) plannedRuns() int {
-	if s.Kind != KindSweep {
+	if s.Kind != KindSweep && s.Kind != KindDistSweep {
 		return 0
 	}
 	benches := len(s.Benches)
