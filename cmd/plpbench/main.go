@@ -256,15 +256,9 @@ func compare(args []string) {
 	fmt.Println("no regressions.")
 }
 
-// validScheme accepts the evaluated schemes plus the extensions.
+// validScheme accepts every registered scheme.
 func validScheme(s engine.Scheme) bool {
-	for _, v := range append(engine.Schemes(),
-		engine.SchemeSGXTree, engine.SchemeColocated) {
-		if s == v {
-			return true
-		}
-	}
-	return false
+	return engine.KnownScheme(s)
 }
 
 // tagFromPath derives a tag from "BENCH_<tag>.json"-shaped paths,

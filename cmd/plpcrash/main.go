@@ -142,8 +142,12 @@ func cmdRun(args []string, out, errw io.Writer) int {
 			status = fmt.Sprintf("FAILED (%d points, %d violations)", n, s.Violations())
 			failed = true
 		}
-		fmt.Fprintf(out, "%-12s guarantee=%-6s points=%-5d persists=%-6d %s\n",
-			s.Scheme, s.Guarantee, s.Points, s.Persists, status)
+		recov := "n/a"
+		if s.Recovery.Finite() {
+			recov = s.Recovery.String()
+		}
+		fmt.Fprintf(out, "%-12s guarantee=%-6s points=%-5d persists=%-6d inflight=%-3d recovery=[%s] %s\n",
+			s.Scheme, s.Guarantee, s.Points, s.Persists, s.MaxInFlight, recov, status)
 		for i, f := range s.Failures {
 			if i >= 3 {
 				fmt.Fprintf(out, "    ... and %d more failing points\n", len(s.Failures)-i)

@@ -34,8 +34,8 @@ func TestVersionEndpoint(t *testing.T) {
 	if v.GoVersion == "" || v.Module == "" {
 		t.Fatalf("version info incomplete: %+v", v)
 	}
-	if len(v.Schemes) != 8 {
-		t.Fatalf("schemes = %v, want all 8", v.Schemes)
+	if want := fabric.SupportedSchemes(); len(v.Schemes) != len(want) {
+		t.Fatalf("schemes = %v, want all %d registered", v.Schemes, len(want))
 	}
 }
 

@@ -1,12 +1,13 @@
 // Command plptables regenerates the paper's evaluation tables and
-// figures (Table V, Figs. 8-12, and the §VII sensitivity studies) from
-// the timing simulator, printing each as a text table with the paper's
-// reference numbers alongside.
+// figures (Table V, Figs. 8-12, the §VII sensitivity studies, and the
+// rival-scheme comparisons) from the timing simulator, printing each
+// as a text table with the paper's reference numbers alongside.
 //
 // Usage:
 //
 //	plptables                      # every experiment, default length
 //	plptables -exp fig8 -full      # one experiment, full-memory mode
+//	plptables -exp recovery        # recovery-time table (no simulation)
 //	plptables -instr 100000000     # paper-length runs (slow)
 //	plptables -benches gamess,gcc  # restrict the benchmark set
 package main
@@ -14,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,15 +23,25 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: flags in, rendered experiments
+// out, exit code returned.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("plptables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "experiment id: "+strings.Join(harness.Order(), ", ")+", or all")
-		instr   = flag.Uint64("instr", 2_000_000, "instructions per benchmark run (paper: 100M)")
-		benches = flag.String("benches", "", "comma-separated benchmark subset (default all 15)")
-		full    = flag.Bool("full", false, "full-memory protection (persist stack too)")
-		format  = flag.String("format", "text", "output format: text or md")
-		outPath = flag.String("o", "", "write output to a file instead of stdout")
+		exp     = fs.String("exp", "all", "experiment id: "+strings.Join(harness.Order(), ", ")+", or all")
+		instr   = fs.Uint64("instr", 2_000_000, "instructions per benchmark run (paper: 100M)")
+		benches = fs.String("benches", "", "comma-separated benchmark subset (default all 15)")
+		full    = fs.Bool("full", false, "full-memory protection (persist stack too)")
+		format  = fs.String("format", "text", "output format: text or md")
+		outPath = fs.String("o", "", "write output to a file instead of stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	o := harness.Options{Instructions: *instr, FullMemory: *full}
 	if *benches != "" {
@@ -40,17 +52,17 @@ func main() {
 	ids := harness.Order()
 	if *exp != "all" {
 		if _, ok := drivers[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "plptables: unknown experiment %q\n", *exp)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "plptables: unknown experiment %q\n", *exp)
+			return 1
 		}
 		ids = []string{*exp}
 	}
-	out := os.Stdout
+	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "plptables: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "plptables: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		out = f
@@ -63,4 +75,5 @@ func main() {
 			fmt.Fprintln(out, e.String())
 		}
 	}
+	return 0
 }

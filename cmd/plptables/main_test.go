@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"plp/internal/engine"
+)
+
+// TestRecoveryTable pins the -exp recovery output: the table is pure
+// model arithmetic, so it must render every registered scheme with
+// exactly the estimates the engine's recovery API computes, and be
+// byte-identical across renders.
+func TestRecoveryTable(t *testing.T) {
+	render := func() string {
+		var out, errw bytes.Buffer
+		if code := run([]string{"-exp", "recovery"}, &out, &errw); code != 0 {
+			t.Fatalf("run exited %d: %s", code, errw.String())
+		}
+		return out.String()
+	}
+	got := render()
+	if again := render(); again != got {
+		t.Fatal("recovery table not deterministic across renders")
+	}
+
+	schemes := engine.Schemes()
+	if len(schemes) < 12 {
+		t.Fatalf("registry has %d schemes, want >= 12", len(schemes))
+	}
+	lines := strings.Split(got, "\n")
+	for _, row := range engine.RecoveryRows(engine.Config{}) {
+		cyc := "n/a"
+		if row.Estimate.Finite() {
+			cyc = fmt.Sprintf("%d", row.Estimate.Cycles)
+		}
+		want := []string{string(row.Scheme), string(row.Guarantee), string(row.Estimate.Kind),
+			fmt.Sprintf("%d", row.Estimate.Nodes), fmt.Sprintf("%d", row.Estimate.Reads), cyc}
+		found := false
+		for _, line := range lines {
+			fields := strings.Fields(line)
+			if len(fields) != len(want) {
+				continue
+			}
+			match := true
+			for i := range want {
+				if fields[i] != want[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("recovery table missing row %v in:\n%s", want, got)
+		}
+	}
+}
+
+// TestUnknownExperiment pins the error path.
+func TestUnknownExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errw); code != 1 {
+		t.Fatalf("run exited %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "unknown experiment") {
+		t.Fatalf("stderr missing diagnostic: %q", errw.String())
+	}
+}

@@ -43,14 +43,7 @@ func main() {
 		if !ok {
 			fatalf("unknown benchmark %q", *events)
 		}
-		valid := false
-		for _, s := range append(engine.Schemes(),
-			engine.SchemeSGXTree, engine.SchemeColocated) {
-			if engine.Scheme(*scheme) == s {
-				valid = true
-			}
-		}
-		if !valid {
+		if !engine.KnownScheme(engine.Scheme(*scheme)) {
 			fatalf("unknown scheme %q", *scheme)
 		}
 		r, err := writeEvents(os.Stdout, engine.Scheme(*scheme), p, *instr)

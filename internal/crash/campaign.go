@@ -6,15 +6,16 @@ import (
 
 	"plp/internal/engine"
 	"plp/internal/harness"
+	"plp/internal/recovery"
 	"plp/internal/registry"
 	"plp/internal/sim"
 	"plp/internal/xrand"
 )
 
-// AllSchemes lists every scheme the campaign can target: the paper's
-// six evaluated schemes plus the two extensions.
+// AllSchemes lists every scheme the campaign can target — everything
+// in the engine's scheme registry.
 func AllSchemes() []engine.Scheme {
-	return append(engine.Schemes(), engine.SchemeSGXTree, engine.SchemeColocated)
+	return engine.AllSchemes()
 }
 
 // CampaignConfig bounds one campaign.
@@ -82,6 +83,15 @@ type SchemeReport struct {
 	Points   int       `json:"points"`
 	Persists int       `json:"persists"`
 	Horizon  sim.Cycle `json:"horizon"`
+	// MaxInFlight is the largest number of persists simultaneously
+	// holding WPQ entries anywhere in the recorded window — the
+	// worst-case in-flight metadata set a crash could strand, and the
+	// shadow-replay recovery work list.
+	MaxInFlight int `json:"maxInFlight"`
+	// Recovery is the scheme's recovery-time estimate for this
+	// window's geometry and worst-case in-flight set (see
+	// internal/recovery.Estimate).
+	Recovery recovery.Estimate `json:"recovery"`
 	// Failures holds the failing verdicts (empty for a clean sweep).
 	Failures []Verdict `json:"failures,omitempty"`
 }
@@ -152,18 +162,54 @@ func runScheme(cfg CampaignConfig, scheme engine.Scheme) (SchemeReport, error) {
 		verdicts[i] = Check(snapshotFromLog(c, log, horizon, false), cfg.Levels)
 	})
 	sr := SchemeReport{
-		Scheme:    scheme,
-		Guarantee: GuaranteeOf(scheme),
-		Points:    len(points),
-		Persists:  len(log.Records),
-		Horizon:   horizon,
+		Scheme:      scheme,
+		Guarantee:   GuaranteeOf(scheme),
+		Points:      len(points),
+		Persists:    len(log.Records),
+		Horizon:     horizon,
+		MaxInFlight: maxInFlight(log),
 	}
+	sr.Recovery, _ = engine.RecoveryEstimate(base.config(nil, 0), sr.MaxInFlight)
 	for _, v := range verdicts {
 		if !v.OK() {
 			sr.Failures = append(sr.Failures, v)
 		}
 	}
 	return sr, nil
+}
+
+// maxInFlight computes the log's peak persist concurrency: the
+// largest number of persists that simultaneously held WPQ entries
+// (admitted but not yet done). A completion and an admission at the
+// same cycle count the completion first — the WPQ entry frees at
+// completion.
+func maxInFlight(log *engine.CrashLog) int {
+	type event struct {
+		at    sim.Cycle
+		admit bool
+	}
+	events := make([]event, 0, 2*len(log.Records))
+	for _, r := range log.Records {
+		events = append(events, event{r.Admit, true}, event{r.Done, false})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return !events[i].admit && events[j].admit
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		if e.admit {
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+		} else {
+			cur--
+		}
+	}
+	return peak
 }
 
 // crashPoints derives the sweep's crash cycles: every recorded
@@ -284,12 +330,17 @@ func (r Report) RegistryFile(tag string) *registry.CrashFile {
 	f.Clean = r.Clean()
 	for _, s := range r.SchemeReports {
 		cs := registry.CrashScheme{
-			Scheme:     string(s.Scheme),
-			Guarantee:  string(s.Guarantee),
-			Points:     s.Points,
-			Persists:   s.Persists,
-			Horizon:    uint64(s.Horizon),
-			Violations: s.Violations(),
+			Scheme:         string(s.Scheme),
+			Guarantee:      string(s.Guarantee),
+			Points:         s.Points,
+			Persists:       s.Persists,
+			Horizon:        uint64(s.Horizon),
+			Violations:     s.Violations(),
+			MaxInFlight:    s.MaxInFlight,
+			RecoveryKind:   string(s.Recovery.Kind),
+			RecoveryNodes:  s.Recovery.Nodes,
+			RecoveryReads:  s.Recovery.Reads,
+			RecoveryCycles: uint64(s.Recovery.Cycles),
 		}
 		for _, v := range s.Failures {
 			cs.Failures = append(cs.Failures, registry.CrashCase{

@@ -95,38 +95,35 @@ func (c Case) config(log *engine.CrashLog, crashAt sim.Cycle) engine.Config {
 }
 
 // Guarantee is the recoverability contract a scheme promises, which
-// determines what the campaign verifies at a crash point.
-type Guarantee string
+// determines what the campaign verifies at a crash point. The type
+// and the per-scheme mapping live in the engine's scheme registry —
+// a scheme and its contract are declared together — and are
+// re-exported here for the campaign's callers.
+type Guarantee = engine.Guarantee
 
 const (
 	// GuaranteeStrict: persists complete in persist order, so the
 	// persisted set at any crash instant is an exact prefix. Covers
-	// sp/pipeline/sgxtree/colocated — and secure_WB, whose eviction
+	// the strict-persistency schemes and secure_WB, whose eviction
 	// stream persists through the same sequential engine (it promises
 	// nothing about *when* a store persists, but what has persisted is
 	// ordered and tuple-complete).
-	GuaranteeStrict Guarantee = "strict"
+	GuaranteeStrict = engine.GuaranteeStrict
 	// GuaranteeEpoch: epoch persistency — whole epochs persist in
 	// epoch order; within the newest epoch the crash may tear, and the
 	// torn epoch is lost (recovery restarts from the last boundary).
-	GuaranteeEpoch Guarantee = "epoch"
+	GuaranteeEpoch = engine.GuaranteeEpoch
 	// GuaranteeNone: the unordered scheme deliberately leaves
 	// Invariant 2 unenforced (Table II); only well-formedness is
 	// checked, never ordering. The campaign's negative control forces
 	// GuaranteeStrict onto its snapshots to show violations occur.
-	GuaranteeNone Guarantee = "none"
+	GuaranteeNone = engine.GuaranteeNone
 )
 
-// GuaranteeOf maps a scheme to its recoverability contract.
+// GuaranteeOf maps a scheme to its recoverability contract, straight
+// from the scheme registry.
 func GuaranteeOf(s engine.Scheme) Guarantee {
-	switch s {
-	case engine.SchemeO3, engine.SchemeCoalescing:
-		return GuaranteeEpoch
-	case engine.SchemeUnordered:
-		return GuaranteeNone
-	default:
-		return GuaranteeStrict
-	}
+	return engine.GuaranteeOf(s)
 }
 
 // Snapshot is the persisted state a crash at Case.CrashAt freezes, as

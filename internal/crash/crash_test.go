@@ -11,10 +11,11 @@ import (
 	"plp/internal/sim"
 )
 
-// TestCampaignClean is the headline soundness sweep: every scheme of
-// the paper verifies cleanly at every injected crash point. In short
+// TestCampaignClean is the headline soundness sweep: every registered
+// scheme — the paper's six, the two extensions, and the four rival
+// designs — verifies cleanly at every injected crash point. In short
 // mode a bounded sweep runs; the full run covers >= 512 crash points
-// per scheme across all 8 schemes (the acceptance bar).
+// per scheme across all 12 schemes (the acceptance bar).
 func TestCampaignClean(t *testing.T) {
 	cfg := CampaignConfig{Instructions: 20_000, Systematic: 64, Random: 32}
 	minPoints := 0
@@ -26,12 +27,15 @@ func TestCampaignClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.SchemeReports) != 8 {
-		t.Fatalf("campaign covered %d schemes, want 8", len(rep.SchemeReports))
+	if want := len(engine.AllSchemes()); len(rep.SchemeReports) != want {
+		t.Fatalf("campaign covered %d schemes, want %d", len(rep.SchemeReports), want)
 	}
 	for _, s := range rep.SchemeReports {
-		t.Logf("%-12s guarantee=%-6s points=%-4d persists=%-5d horizon=%d",
-			s.Scheme, s.Guarantee, s.Points, s.Persists, s.Horizon)
+		t.Logf("%-12s guarantee=%-6s points=%-4d persists=%-5d horizon=%d inflight=%d recovery=%s",
+			s.Scheme, s.Guarantee, s.Points, s.Persists, s.Horizon, s.MaxInFlight, s.Recovery)
+		if s.Guarantee != GuaranteeNone && !s.Recovery.Finite() {
+			t.Errorf("%s: recoverable scheme reports no finite recovery estimate", s.Scheme)
+		}
 		if s.Points < minPoints {
 			t.Errorf("%s: swept %d crash points, want >= %d", s.Scheme, s.Points, minPoints)
 		}
@@ -248,7 +252,10 @@ func TestReportRegistryRoundTrip(t *testing.T) {
 	}
 }
 
-// TestGuarantees pins the scheme-to-contract map against Table II.
+// TestGuarantees pins the scheme-to-contract map against Table II
+// (and its extension to the rival schemes). The map below is the
+// independent restatement the registry must match: a registration
+// that silently changes a contract fails here.
 func TestGuarantees(t *testing.T) {
 	want := map[engine.Scheme]Guarantee{
 		engine.SchemeSecureWB:   GuaranteeStrict,
@@ -259,6 +266,12 @@ func TestGuarantees(t *testing.T) {
 		engine.SchemeCoalescing: GuaranteeEpoch,
 		engine.SchemeSGXTree:    GuaranteeStrict,
 		engine.SchemeColocated:  GuaranteeStrict,
+		// Rival schemes: all strict-persistency designs (their point
+		// is recovery time, not a weaker ordering contract).
+		engine.SchemeTriadSel:   GuaranteeStrict,
+		engine.SchemePhoenix:    GuaranteeStrict,
+		engine.SchemeShadow:     GuaranteeStrict,
+		engine.SchemeSuperMemWC: GuaranteeStrict,
 	}
 	all := AllSchemes()
 	if len(all) != len(want) {

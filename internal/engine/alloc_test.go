@@ -35,7 +35,7 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	p, _ := trace.ProfileByName("gcc")
 	const short, long = 300_000, 1_500_000
 	const tolerance = 200 // runtime noise, not per-store work
-	for _, s := range append(Schemes(), SchemeSGXTree, SchemeColocated) {
+	for _, s := range AllSchemes() {
 		s := s
 		t.Run(string(s), func(t *testing.T) {
 			ar := NewArena()

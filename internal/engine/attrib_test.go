@@ -6,10 +6,9 @@ import (
 	"plp/internal/trace"
 )
 
-// allSchemes is every scheme the engine can run, including the
-// extensions beyond the paper's six.
-var allSchemes = []Scheme{SchemeSecureWB, SchemeUnordered, SchemeSP,
-	SchemePipeline, SchemeO3, SchemeCoalescing, SchemeSGXTree, SchemeColocated}
+// allSchemes is every scheme the engine can run — the full registry,
+// including the extensions and rival schemes beyond the paper's six.
+var allSchemes = AllSchemes()
 
 func TestAttributionSumsToCycles(t *testing.T) {
 	// The core contract of the attribution layer: for every scheme the

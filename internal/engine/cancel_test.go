@@ -16,7 +16,7 @@ import (
 // when uncancelled.
 func TestCancelHookEquivalence(t *testing.T) {
 	p, _ := trace.ProfileByName("gcc")
-	schemes := append(Schemes(), SchemeSGXTree, SchemeColocated)
+	schemes := AllSchemes()
 	for _, s := range schemes {
 		cfg := Config{Scheme: s, Instructions: 60_000, Warmup: 20_000}
 		base := Run(cfg, p)
@@ -37,7 +37,7 @@ func TestCancelHookEquivalence(t *testing.T) {
 // instructions than the configured run length.
 func TestCancelStopsRun(t *testing.T) {
 	p, _ := trace.ProfileByName("gcc")
-	schemes := append(Schemes(), SchemeSGXTree, SchemeColocated)
+	schemes := AllSchemes()
 	for _, s := range schemes {
 		var polls int
 		cfg := Config{Scheme: s, Instructions: 10_000_000}
@@ -76,7 +76,7 @@ func TestValidate(t *testing.T) {
 	if err := (Config{}).Validate(); err != nil {
 		t.Errorf("zero config must validate: %v", err)
 	}
-	for _, s := range append(Schemes(), SchemeSGXTree, SchemeColocated) {
+	for _, s := range AllSchemes() {
 		if err := (Config{Scheme: s}).Validate(); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}

@@ -13,7 +13,7 @@ import (
 // uninterrupted RunSource of the same config.
 func TestCheckpointResumeEquivalence(t *testing.T) {
 	prof := trace.Profiles()[0]
-	schemes := append(Schemes(), SchemeSGXTree, SchemeColocated)
+	schemes := AllSchemes()
 	for _, arena := range []bool{false, true} {
 		var ar *Arena
 		if arena {

@@ -63,6 +63,7 @@ var fieldStages = map[string]Stage{
 	"PTTEntries":         StageMeasure,
 	"ETTSlots":           StageMeasure,
 	"EpochSize":          StageMeasure,
+	"TriadLevels":        StageMeasure,
 	"MACCacheKB":         StageMeasure, // warm-up never touches the MAC cache
 	"BMTCacheKB":         StageMeasure, // nor the BMT cache
 	"ChainedCoalescing":  StageMeasure,

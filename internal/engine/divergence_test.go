@@ -82,6 +82,7 @@ func configMutators(t *testing.T) map[string]func(Config) Config {
 		"PTTEntries":         func(c Config) Config { c.PTTEntries = 16; return c },
 		"ETTSlots":           func(c Config) Config { c.ETTSlots = 4; return c },
 		"EpochSize":          func(c Config) Config { c.EpochSize = 64; return c },
+		"TriadLevels":        func(c Config) Config { c.TriadLevels = 4; return c },
 		"CtrCacheKB":         func(c Config) Config { c.CtrCacheKB = 64; return c },
 		"MACCacheKB":         func(c Config) Config { c.MACCacheKB = 64; return c },
 		"BMTCacheKB":         func(c Config) Config { c.BMTCacheKB = 64; return c },

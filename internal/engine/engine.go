@@ -22,6 +22,13 @@
 //	coalescing  o3 plus paired LCA coalescing (PLP mechanism 3).
 //	sgxtree     extension (§IV-D): an SGX-style counter tree where the
 //	            whole leaf-to-root path must persist per store.
+//
+// Beyond the paper's set, the registry (spec.go) carries the rival
+// designs from the surrounding literature — triad_sel, phoenix,
+// shadow, supermem_wc — each with its own crash-recoverability
+// contract and recovery-time model. Scheme dispatch, validation,
+// guarantees, and recovery models all come from the single SchemeSpec
+// registry; there is no per-scheme switch anywhere in the engine.
 package engine
 
 import (
@@ -64,11 +71,32 @@ const (
 	SchemeColocated Scheme = "colocated"
 )
 
-// Schemes lists the paper's six evaluated schemes in Table IV order.
-func Schemes() []Scheme {
-	return []Scheme{SchemeSecureWB, SchemeUnordered, SchemeSP,
-		SchemePipeline, SchemeO3, SchemeCoalescing}
-}
+// The rival designs from the surrounding literature (see PAPERS.md),
+// implemented on the same machine model for a directly comparable
+// (performance, recoverability, recovery-time) matrix.
+const (
+	// SchemeTriadSel models Triad-NVM's selective tree persistence
+	// (Awad et al.): strict persistency where the lowest
+	// Config.TriadLevels levels of the BMT persist inline with each
+	// walk, shrinking recovery to rebuilding only the volatile top of
+	// the tree.
+	SchemeTriadSel Scheme = "triad_sel"
+	// SchemePhoenix models Phoenix's persistently secure counter tree
+	// (Alwadi et al.): every counter-tree node update is written
+	// through to NVM, but the walks stay pipelined (PTT), so the tree
+	// is always recoverable by a constant-work root verification.
+	SchemePhoenix Scheme = "phoenix"
+	// SchemeShadow models Anubis-style shadow-address tracking (Zubair
+	// & Awad): each in-flight metadata update first persists a shadow
+	// entry naming it, bounding recovery to replaying the shadow
+	// region — work proportional to the in-flight set, not memory.
+	SchemeShadow Scheme = "shadow"
+	// SchemeSuperMemWC models SuperMem-style write coalescing (Zuo et
+	// al.) at the security-metadata level: consecutive persists to the
+	// same BMT leaf share one tree walk while the covering walk is
+	// still in flight.
+	SchemeSuperMemWC Scheme = "supermem_wc"
+)
 
 // Config parameterizes one simulation. Zero fields take the paper's
 // Table III defaults.
@@ -87,6 +115,11 @@ type Config struct {
 	PTTEntries   int
 	ETTSlots     int
 	EpochSize    int // persistent stores per epoch
+	// TriadLevels is the triad_sel scheme's persisted-level depth: how
+	// many leaf-side BMT levels persist inline with every walk
+	// (1..BMTLevels). Other schemes ignore it. Default 2, the
+	// Triad-NVM paper's recommended operating point.
+	TriadLevels int
 
 	CtrCacheKB int
 	MACCacheKB int
@@ -242,6 +275,9 @@ func (c *Config) fill() {
 	if c.EpochSize == 0 {
 		c.EpochSize = 32
 	}
+	if c.TriadLevels == 0 {
+		c.TriadLevels = 2
+	}
 	if c.FlushCyclesPerLine == 0 {
 		c.FlushCyclesPerLine = 4
 	}
@@ -324,7 +360,11 @@ func (r Result) CoalescingReduction() float64 {
 
 // machine bundles the shared hardware models of one run.
 type machine struct {
-	cfg  Config
+	cfg Config
+	// spec is the scheme's registry entry: runner, behavior flags, and
+	// contracts all come from it (nil only for unknown schemes, which
+	// measure rejects).
+	spec *SchemeSpec
 	topo *bmt.Topology
 
 	macPipe   sim.Resource // shared pipelined MAC units (OOO schemes)
@@ -372,6 +412,11 @@ type machine struct {
 	curPath   []bmt.Label
 	levelNode func(bmt.Label, sim.Cycle) sim.Cycle
 	seqCost   ptt.LevelCost
+	// nodePersistDepth (from the spec): path nodes with leaf-first
+	// index below it are written to NVM on the persist's critical path
+	// (sgxtree/phoenix: whole path; triad_sel: the lowest TriadLevels
+	// levels; 0 for volatile-tree schemes).
+	nodePersistDepth int
 
 	// Epoch membership (runEpoch): a generation-stamp set over trace
 	// blocks replaces the old per-epoch map — epochGen[b] == epochCur
@@ -419,9 +464,13 @@ func newMDC(name string, kbs, ways int) *cache.Cache {
 func newMachine(cfg Config) *machine {
 	m := &machine{
 		cfg:  cfg,
+		spec: specOf(cfg.Scheme),
 		topo: bmt.MustNewTopology(cfg.BMTLevels, 8),
 		mem:  nvm.New(cfg.NVM),
 		q:    wpq.New(cfg.WPQEntries),
+	}
+	if m.spec != nil {
+		m.nodePersistDepth = m.spec.depth(cfg)
 	}
 	m.ar = cfg.Arena
 	if m.ar == nil {
@@ -451,7 +500,16 @@ func newMachine(cfg Config) *machine {
 	m.levelNode = m.nodeUpdate
 	m.seqCost = func(lvl int, start sim.Cycle) sim.Cycle {
 		m.mark(CompSched, start)
-		return m.levelNode(m.curPath[m.cfg.BMTLevels-lvl], start)
+		idx := m.cfg.BMTLevels - lvl // leaf-first path index
+		lab := m.curPath[idx]
+		d := m.levelNode(lab, start)
+		if idx < m.nodePersistDepth {
+			// The node itself must persist: its NVM write is on the
+			// persist's critical path (sgxtree, phoenix, triad_sel).
+			d = m.mem.Write(m.lay.BMTLine(lab), d)
+			m.mark(CompNVMWrite, d)
+		}
+		return d
 	}
 	if cfg.Telemetry != nil {
 		m.probeStalls = make([]float64, NumComponents)
@@ -568,6 +626,19 @@ func (m *machine) nodeUpdate(label bmt.Label, start sim.Cycle) sim.Cycle {
 	}
 	done := ready + m.cfg.MACLatency
 	m.mark(CompMAC, done)
+	return done
+}
+
+// nodeWriteThrough is nodeUpdate plus a write-through of the updated
+// node to NVM as background traffic (phoenix): the write keeps the
+// tree persistent across power loss but stays off the walk's critical
+// path — battery-backed write queueing decouples it — so it costs
+// write bandwidth and queue occupancy, not stage time. Contrast with
+// nodePersistDepth's chained writes (sgxtree, triad_sel), where the
+// write's drain gates the parent level.
+func (m *machine) nodeWriteThrough(label bmt.Label, start sim.Cycle) sim.Cycle {
+	done := m.nodeUpdate(label, start)
+	m.mem.Write(m.lay.BMTLine(label), done)
 	return done
 }
 
@@ -768,20 +839,10 @@ func (m *machine) measure(st *opStream, bench string, ipc float64, tr *tracer) R
 	res.Scheme = m.cfg.Scheme
 	res.Bench = bench
 
-	switch m.cfg.Scheme {
-	case SchemeSecureWB:
-		runSecureWB(m, st, ipc, &res)
-	case SchemeUnordered:
-		runUnordered(m, st, ipc, &res)
-	case SchemeSP, SchemeSGXTree, SchemeColocated:
-		runSP(m, st, ipc, &res)
-	case SchemePipeline:
-		runPipeline(m, st, ipc, &res)
-	case SchemeO3, SchemeCoalescing:
-		runEpoch(m, st, ipc, &res)
-	default:
+	if m.spec == nil {
 		panic(fmt.Sprintf("engine: unknown scheme %q", m.cfg.Scheme))
 	}
+	m.spec.run(m, st, ipc, &res)
 
 	m.finishCrashLog(&res)
 	res.Instructions = m.cfg.Instructions - m.cfg.Warmup

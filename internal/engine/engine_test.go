@@ -287,8 +287,17 @@ func TestUnknownSchemePanics(t *testing.T) {
 }
 
 func TestSchemesList(t *testing.T) {
-	if len(Schemes()) != 6 {
-		t.Fatalf("schemes = %v", Schemes())
+	if len(CoreSchemes()) != 6 {
+		t.Fatalf("core schemes = %v", CoreSchemes())
+	}
+	if got := Schemes(); len(got) < 12 {
+		t.Fatalf("schemes = %v", got)
+	}
+	// The core six lead the full list in Table IV order.
+	for i, s := range CoreSchemes() {
+		if Schemes()[i] != s {
+			t.Fatalf("Schemes()[%d] = %s, want %s", i, Schemes()[i], s)
+		}
 	}
 }
 

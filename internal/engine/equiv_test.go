@@ -22,7 +22,7 @@ func (s perOpSource) Progress() uint64 { return s.g.Progress() }
 // to match exactly. Batching must be invisible to the timing model.
 func TestBatchedSourceEquivalence(t *testing.T) {
 	p, _ := trace.ProfileByName("gcc")
-	schemes := append(Schemes(), SchemeSGXTree, SchemeColocated)
+	schemes := AllSchemes()
 	for _, s := range schemes {
 		cfg := Config{Scheme: s, Instructions: 60_000, Warmup: 20_000}
 		batched := RunSource(cfg, p.Name, p.IPC, trace.NewGenerator(p))
@@ -40,7 +40,7 @@ func TestBatchedSourceEquivalence(t *testing.T) {
 func TestArenaEquivalence(t *testing.T) {
 	p, _ := trace.ProfileByName("leslie3d")
 	ar := NewArena()
-	schemes := append(Schemes(), SchemeSGXTree, SchemeColocated)
+	schemes := AllSchemes()
 	for _, s := range schemes {
 		cfg := Config{Scheme: s, Instructions: 60_000}
 		clean := Run(cfg, p)
@@ -68,7 +68,7 @@ func TestArenaEquivalence(t *testing.T) {
 func TestCrashLogDeterminism(t *testing.T) {
 	p, _ := trace.ProfileByName("gcc")
 	ar := NewArena()
-	schemes := append(Schemes(), SchemeSGXTree, SchemeColocated)
+	schemes := AllSchemes()
 	for _, s := range schemes {
 		cfg := Config{Scheme: s, Instructions: 30_000}
 		base := Run(cfg, p)

@@ -154,26 +154,17 @@ func (m *machine) faultAck(seq uint64, grant, done sim.Cycle) sim.Cycle {
 // runSP models strict persistency with the baseline 2SP mechanism:
 // each store's whole tuple — including the sequential leaf-to-root
 // BMT update — must persist before the next store may proceed, so the
-// core stalls for the full update (§IV-A1). SchemeSGXTree additionally
-// persists every node on the path (§IV-D).
+// core stalls for the full update (§IV-A1). Per-scheme variation comes
+// from the spec, not from identity checks: sgxtree and triad_sel set a
+// persisted-node depth (the seqCost write-through), colocated sets the
+// co-location flag.
 func runSP(m *machine, st *opStream, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
 	m.pttTab = tab
 	coreTime := 0.0
-	sgx := m.cfg.Scheme == SchemeSGXTree
-	colocated := m.cfg.Scheme == SchemeColocated
+	colocated := m.spec.colocated
 	m.levelNode = m.nodeUpdate
-	if sgx {
-		m.levelNode = func(label bmt.Label, s sim.Cycle) sim.Cycle {
-			d := m.nodeUpdate(label, s)
-			// The counter-tree node itself must persist: its NVM
-			// write is on the persist's critical path.
-			d = m.mem.Write(m.lay.BMTLine(label), d)
-			m.mark(CompNVMWrite, d)
-			return d
-		}
-	}
 
 	for st.progress() < m.cfg.Instructions {
 		if m.stopNow(coreTime) {
@@ -233,6 +224,9 @@ func runPipeline(m *machine, st *opStream, ipc float64, res *Result) {
 	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
 	m.pttTab = tab
 	m.levelNode = m.nodeUpdate
+	if m.spec.writeThrough {
+		m.levelNode = m.nodeWriteThrough
+	}
 
 	for st.progress() < m.cfg.Instructions {
 		if m.stopNow(coreTime) {
@@ -287,7 +281,7 @@ func runEpoch(m *machine, st *opStream, ipc float64, res *Result) {
 	cpi := 1 / ipc
 	coreTime := 0.0
 	policy := ett.PolicyNone
-	if m.cfg.Scheme == SchemeCoalescing {
+	if m.spec.coalesce {
 		policy = ett.PolicyPaired
 		if m.cfg.ChainedCoalescing {
 			policy = ett.PolicyChained
@@ -426,4 +420,160 @@ func runEpoch(m *machine, st *opStream, ipc float64, res *Result) {
 	res.BMTUpdatesNoCoal = sched.UpdatesNoCoal
 	res.SlotStalls = sched.SlotStalls
 	res.EpochLatency = sched.EpochLatency
+}
+
+// The rival schemes (see PAPERS.md): directly comparable designs from
+// the surrounding literature, on the same machine model.
+
+// runTriadSel models Triad-NVM's selective tree persistence: the 2SP
+// strict-persistency discipline of runSP, with the lowest TriadLevels
+// BMT levels written through to NVM on the walk's critical path (the
+// spec's persistDepth drives seqCost). Recovery then rebuilds only the
+// volatile top of the tree.
+func runTriadSel(m *machine, st *opStream, ipc float64, res *Result) {
+	runSP(m, st, ipc, res)
+}
+
+// runPhoenix models Phoenix's persistently secure counter tree: walks
+// stay pipelined through the PTT exactly as in runPipeline, but every
+// node update is additionally written through to NVM (the spec's
+// writeThrough flag selects nodeWriteThrough as the level updater), so
+// the tree survives power loss and recovery is a root verification.
+// The writes ride the battery-backed write queue off the walk's
+// critical path — Phoenix's design point — so the cost shows up as
+// NVM write traffic and queue occupancy, not core serialization.
+func runPhoenix(m *machine, st *opStream, ipc float64, res *Result) {
+	runPipeline(m, st, ipc, res)
+}
+
+// runShadow models Anubis-style shadow tracking: strict persistency
+// with pipelined walks, where each persist writes a shadow-table entry
+// naming its in-flight metadata update. The entry streams to NVM in
+// parallel with the metadata pipeline and must be durable before the
+// persist acknowledges (it is the recovery work list), so it gates the
+// ack, not the walk. The shadow region is modeled as additional NVM
+// write traffic — the write path models bandwidth and queue occupancy,
+// not placement.
+func runShadow(m *machine, st *opStream, ipc float64, res *Result) {
+	cpi := 1 / ipc
+	coreTime := 0.0
+	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
+	m.pttTab = tab
+	m.levelNode = m.nodeUpdate
+
+	for st.progress() < m.cfg.Instructions {
+		if m.stopNow(coreTime) {
+			break
+		}
+		op := st.next()
+		coreTime += float64(op.Gap+1) * cpi
+		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
+		if op.Kind == trace.OpLoad {
+			if m.cfg.ReadVerification {
+				m.verifyRead(op.Block, cyc(coreTime))
+			} else {
+				m.loadAccess(op.Block)
+			}
+			continue
+		}
+		if !m.cfg.mustPersist(op) {
+			continue
+		}
+		m.beginPersist(cyc(coreTime))
+		grant := m.q.Admit(cyc(coreTime))
+		m.mark(CompWPQ, grant)
+		// The shadow entry issues at admission and drains in parallel
+		// with the walk; the persist acknowledges only once both the
+		// root update and the shadow entry are durable.
+		shadow := m.mem.Write(m.lay.DataLine(m.aliasBlock(op.Block)), grant)
+		start := m.metaFetch(op.Block, grant)
+		m.curPath = m.pathOf(op.Block)
+		leafStart, root := tab.Persist(start, m.seqCost)
+		m.persistWrites(op.Block, root)
+		done := root
+		if shadow > done {
+			done = shadow
+		}
+		ack := m.faultAck(res.Persists, grant, done)
+		m.q.Occupy(ack)
+		m.recordPersist(op.Block, 0, grant, ack, root)
+		before := coreTime
+		coreTime = maxf(coreTime, leafStart)
+		m.chargeStall(before, leafStart)
+		m.traceEvent("persist", ack, uint64(op.Block), uint64(ack-grant))
+		res.PersistLatency.Add(uint64(ack - grant))
+		res.Persists++
+		res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+		m.sample(cyc(coreTime), res)
+	}
+	res.Cycles = cyc(coreTime)
+}
+
+// runSuperMemWC models SuperMem-style write coalescing at the
+// security-metadata level: strict persistency with pipelined walks,
+// where a persist whose BMT leaf equals the previous persist's leaf
+// coalesces onto the still-in-flight covering walk instead of starting
+// its own — its completion is the covering walk's root completion.
+// Because the PTT's root completions are monotone and a coalesced
+// persist completes with its covering walk, the persisted state at any
+// crash point remains a program-order prefix (GuaranteeStrict).
+func runSuperMemWC(m *machine, st *opStream, ipc float64, res *Result) {
+	cpi := 1 / ipc
+	coreTime := 0.0
+	tab := ptt.New(m.cfg.BMTLevels, m.cfg.PTTEntries)
+	m.pttTab = tab
+	m.levelNode = m.nodeUpdate
+	var lastLeaf bmt.Label
+	var lastRootDone sim.Cycle
+	haveLast := false
+
+	for st.progress() < m.cfg.Instructions {
+		if m.stopNow(coreTime) {
+			break
+		}
+		op := st.next()
+		coreTime += float64(op.Gap+1) * cpi
+		m.att.add(CompCompute, float64(op.Gap+1)*cpi)
+		if op.Kind == trace.OpLoad {
+			if m.cfg.ReadVerification {
+				m.verifyRead(op.Block, cyc(coreTime))
+			} else {
+				m.loadAccess(op.Block)
+			}
+			continue
+		}
+		if !m.cfg.mustPersist(op) {
+			continue
+		}
+		m.beginPersist(cyc(coreTime))
+		grant := m.q.Admit(cyc(coreTime))
+		m.mark(CompWPQ, grant)
+		start := m.metaFetch(op.Block, grant)
+		m.curPath = m.pathOf(op.Block)
+		leaf := m.curPath[0]
+		res.BMTUpdatesNoCoal += uint64(m.cfg.BMTLevels)
+		var leafStart, done sim.Cycle
+		if haveLast && leaf == lastLeaf && lastRootDone > start {
+			// Same leaf and the covering walk is still in flight: the
+			// update folds into it. No tree work; the persist is done
+			// when the covering walk's root lands.
+			leafStart, done = start, lastRootDone
+			m.mark(CompSched, done)
+		} else {
+			leafStart, done = tab.Persist(start, m.seqCost)
+			res.BMTNodeUpdates += uint64(m.cfg.BMTLevels)
+		}
+		lastLeaf, lastRootDone, haveLast = leaf, done, true
+		m.persistWrites(op.Block, done)
+		m.q.Occupy(done)
+		m.recordPersist(op.Block, 0, grant, done, done)
+		before := coreTime
+		coreTime = maxf(coreTime, leafStart)
+		m.chargeStall(before, leafStart)
+		m.traceEvent("persist", done, uint64(op.Block), uint64(done-grant))
+		res.PersistLatency.Add(uint64(done - grant))
+		res.Persists++
+		m.sample(cyc(coreTime), res)
+	}
+	res.Cycles = cyc(coreTime)
 }

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"testing"
+
+	"plp/internal/recovery"
+)
+
+// everyScheme restates the full scheme list independently of the
+// registry, so a registration dropped by a refactor fails here rather
+// than silently shrinking Schemes().
+var everyScheme = []Scheme{
+	SchemeSecureWB, SchemeUnordered, SchemeSP,
+	SchemePipeline, SchemeO3, SchemeCoalescing,
+	SchemeSGXTree, SchemeColocated,
+	SchemeTriadSel, SchemePhoenix, SchemeShadow, SchemeSuperMemWC,
+}
+
+// TestRegistryConsistency checks the scheme registry against the
+// independent restatements above: every constant registered exactly
+// once, with a runner, a doc line, a guarantee, and a recovery model
+// that agree with the scheme's contract.
+func TestRegistryConsistency(t *testing.T) {
+	if got, want := len(Schemes()), len(everyScheme); got != want {
+		t.Fatalf("Schemes() has %d entries, want %d", got, want)
+	}
+	for i, s := range Schemes() {
+		if s != everyScheme[i] {
+			t.Errorf("Schemes()[%d] = %q, want %q", i, s, everyScheme[i])
+		}
+	}
+	for _, s := range everyScheme {
+		sp, ok := SpecOf(s)
+		if !ok {
+			t.Errorf("%s: not registered", s)
+			continue
+		}
+		if sp.Scheme != s {
+			t.Errorf("%s: spec names %q", s, sp.Scheme)
+		}
+		if sp.run == nil {
+			t.Errorf("%s: no runner", s)
+		}
+		if sp.Doc == "" || SchemeDoc(s) == "" {
+			t.Errorf("%s: no doc line", s)
+		}
+		if !KnownScheme(s) {
+			t.Errorf("%s: KnownScheme false", s)
+		}
+		if GuaranteeOf(s) != sp.Guarantee {
+			t.Errorf("%s: GuaranteeOf %q != spec %q", s, GuaranteeOf(s), sp.Guarantee)
+		}
+		// A scheme with no recoverability contract has no recovery
+		// model, and vice versa.
+		if (sp.Guarantee == GuaranteeNone) != (sp.Recovery.Kind == recovery.KindNone) {
+			t.Errorf("%s: guarantee %q with recovery kind %q", s, sp.Guarantee, sp.Recovery.Kind)
+		}
+	}
+}
+
+// TestRegistryUnknown pins the unknown-scheme behavior: lookups fail
+// closed (strictest guarantee, no spec, invalid config).
+func TestRegistryUnknown(t *testing.T) {
+	const bogus Scheme = "no_such_scheme"
+	if KnownScheme(bogus) {
+		t.Error("KnownScheme accepts bogus scheme")
+	}
+	if _, ok := SpecOf(bogus); ok {
+		t.Error("SpecOf returns a spec for bogus scheme")
+	}
+	if g := GuaranteeOf(bogus); g != GuaranteeStrict {
+		t.Errorf("GuaranteeOf(bogus) = %q, want strict (fail closed)", g)
+	}
+	if err := (Config{Scheme: bogus}).Validate(); err == nil {
+		t.Error("Validate accepts bogus scheme")
+	}
+}
+
+// TestCoreSchemesShape pins the Table IV set: exactly the paper's six
+// evaluated schemes, in table order, and a strict prefix of Schemes().
+func TestCoreSchemesShape(t *testing.T) {
+	want := []Scheme{SchemeSecureWB, SchemeUnordered, SchemeSP,
+		SchemePipeline, SchemeO3, SchemeCoalescing}
+	core := CoreSchemes()
+	if len(core) != len(want) {
+		t.Fatalf("CoreSchemes() has %d entries, want %d", len(core), len(want))
+	}
+	for i, s := range core {
+		if s != want[i] {
+			t.Errorf("CoreSchemes()[%d] = %q, want %q", i, s, want[i])
+		}
+	}
+}
+
+// TestRecoveryEstimateOrdering checks the recovery-time axis against
+// the designs' qualitative ordering for the default geometry: a fully
+// persistent tree (phoenix, sgxtree) recovers in near-constant time,
+// selective persistence (triad_sel) rebuilds only the volatile top,
+// and a fully volatile tree (sp, pipeline) rebuilds everything.
+func TestRecoveryEstimateOrdering(t *testing.T) {
+	est := func(s Scheme) recovery.Estimate {
+		e, ok := RecoveryEstimate(Config{Scheme: s}, 64)
+		if !ok {
+			t.Fatalf("%s: no recovery estimate", s)
+		}
+		return e
+	}
+	phoenix, triad, full := est(SchemePhoenix), est(SchemeTriadSel), est(SchemeSP)
+	if !(phoenix.Cycles < triad.Cycles && triad.Cycles < full.Cycles) {
+		t.Errorf("recovery ordering violated: phoenix %d, triad_sel %d, sp %d cycles",
+			phoenix.Cycles, triad.Cycles, full.Cycles)
+	}
+	// Shadow replay scales with the in-flight count, not tree size.
+	lo, _ := RecoveryEstimate(Config{Scheme: SchemeShadow}, 1)
+	hi, _ := RecoveryEstimate(Config{Scheme: SchemeShadow}, 64)
+	if !(lo.Cycles < hi.Cycles && hi.Cycles < full.Cycles) {
+		t.Errorf("shadow replay should scale with in-flight and stay below full rebuild:"+
+			" inflight1 %d, inflight64 %d, rebuild %d cycles", lo.Cycles, hi.Cycles, full.Cycles)
+	}
+	// The unordered strawman has no recovery story at all.
+	if e := est(SchemeUnordered); e.Finite() {
+		t.Errorf("unordered reports a finite recovery estimate: %+v", e)
+	}
+	// RecoveryRows covers every registered scheme, in order.
+	rows := RecoveryRows(Config{})
+	if len(rows) != len(Schemes()) {
+		t.Fatalf("RecoveryRows has %d rows, want %d", len(rows), len(Schemes()))
+	}
+	for i, r := range rows {
+		if r.Scheme != Schemes()[i] {
+			t.Errorf("RecoveryRows[%d] = %q, want %q", i, r.Scheme, Schemes()[i])
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 // cycle attribution keeps for Cycles.
 func TestTelemetryConservation(t *testing.T) {
 	prof, _ := trace.ProfileByName("gamess")
-	schemes := append(Schemes(), SchemeSGXTree, SchemeColocated)
+	schemes := AllSchemes()
 	for _, s := range schemes {
 		s := s
 		t.Run(string(s), func(t *testing.T) {

@@ -92,7 +92,7 @@ func TestTracingModeSwitching(t *testing.T) {
 // with no tracing configured.
 func TestTracingCycleEquivalence(t *testing.T) {
 	p, _ := trace.ProfileByName("gcc")
-	for _, s := range append(Schemes(), SchemeSGXTree, SchemeColocated) {
+	for _, s := range AllSchemes() {
 		s := s
 		t.Run(string(s), func(t *testing.T) {
 			base := Run(Config{Scheme: s, Instructions: 100_000}, p)

@@ -15,12 +15,9 @@ import (
 // service's submit path) check here before handing the config to Run.
 func (c Config) Validate() error {
 	c.fill()
-	switch c.Scheme {
-	case SchemeSecureWB, SchemeUnordered, SchemeSP, SchemePipeline,
-		SchemeO3, SchemeCoalescing, SchemeSGXTree, SchemeColocated:
-	default:
-		known := append(Schemes(), SchemeSGXTree, SchemeColocated)
-		return fmt.Errorf("engine: unknown scheme %q (known: %v)", c.Scheme, known)
+	spec := specOf(c.Scheme)
+	if spec == nil {
+		return fmt.Errorf("engine: unknown scheme %q (known: %v)", c.Scheme, Schemes())
 	}
 	if _, err := bmt.NewTopology(c.BMTLevels, 8); err != nil {
 		return fmt.Errorf("engine: %w", err)
@@ -36,6 +33,11 @@ func (c Config) Validate() error {
 	}
 	if c.EpochSize < 1 {
 		return fmt.Errorf("engine: EpochSize must be >= 1, got %d", c.EpochSize)
+	}
+	if spec.validate != nil {
+		if err := spec.validate(c); err != nil {
+			return err
+		}
 	}
 	if c.FlushCyclesPerLine < 0 {
 		return fmt.Errorf("engine: FlushCyclesPerLine must be >= 0, got %d", c.FlushCyclesPerLine)

@@ -400,8 +400,8 @@ func errorsAs(err error, target *(*UnitError)) bool {
 // TestVersionCompat covers the scheme-set gate directly.
 func TestVersionCompat(t *testing.T) {
 	v := CurrentVersion()
-	if len(v.Schemes) != 8 {
-		t.Fatalf("supported schemes = %d, want 8", len(v.Schemes))
+	if want := len(engine.AllSchemes()); len(v.Schemes) != want {
+		t.Fatalf("supported schemes = %d, want %d (everything registered)", len(v.Schemes), want)
 	}
 	if ok, _ := v.CompatibleWith(v); !ok {
 		t.Fatal("a build must be compatible with itself")

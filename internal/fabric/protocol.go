@@ -32,6 +32,7 @@ package fabric
 import (
 	"sort"
 
+	"plp/internal/engine"
 	"plp/internal/harness"
 	"plp/internal/registry"
 	"plp/internal/trace"
@@ -150,7 +151,9 @@ func (sw Sweep) units() ([]Unit, error) {
 	}
 	schemes := sw.Schemes
 	if len(schemes) == 0 {
-		schemes = SupportedSchemes()[:6] // the six evaluated, Table IV order
+		for _, s := range engine.CoreSchemes() { // the six evaluated, Table IV order
+			schemes = append(schemes, string(s))
+		}
 	}
 	units := make([]Unit, 0, len(benches)*len(schemes))
 	for _, b := range benches {

@@ -18,10 +18,13 @@ type VersionInfo struct {
 	Schemes   []string `json:"schemes"`
 }
 
-// SupportedSchemes lists every scheme this build can simulate: the six
-// evaluated (Table IV order) plus the two extension schemes.
+// SupportedSchemes lists every scheme this build can simulate —
+// everything in the engine's scheme registry, in registration order
+// (the six evaluated first, then the extensions and rival schemes).
+// The list is the fabric's registration compatibility gate: a worker
+// whose set differs cannot take arbitrary units.
 func SupportedSchemes() []string {
-	schemes := append(engine.Schemes(), engine.SchemeSGXTree, engine.SchemeColocated)
+	schemes := engine.AllSchemes()
 	out := make([]string, len(schemes))
 	for i, s := range schemes {
 		out[i] = string(s)

@@ -17,7 +17,7 @@ import (
 // infer causes from totals.
 func Attrib(o Options) *Experiment {
 	r := newRunner(o)
-	schemes := engine.Schemes()
+	schemes := engine.CoreSchemes()
 	comps := engine.Components()
 	profs := r.o.profiles()
 

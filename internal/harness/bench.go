@@ -60,7 +60,7 @@ func RecordContext(ctx context.Context, o RecordOptions) ([]registry.Run, error)
 	r := newRunner(o.Options)
 	schemes := o.Schemes
 	if len(schemes) == 0 {
-		schemes = engine.Schemes()
+		schemes = engine.CoreSchemes()
 	}
 	profs := r.o.profiles()
 	runs := make([]registry.Run, len(profs)*len(schemes))

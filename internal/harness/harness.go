@@ -512,11 +512,14 @@ func All() map[string]func(Options) *Experiment {
 		"nvm":      NVMSweep,
 		"latency":  Latency,
 		"attrib":   Attrib,
+		"rivals":   Rivals,
+		"recovery": Recovery,
 	}
 }
 
 // Order lists experiment IDs in presentation order.
 func Order() []string {
 	return []string{"tableV", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"wpq", "mdc", "llc", "coalesce", "variance", "nvm", "latency", "attrib"}
+		"wpq", "mdc", "llc", "coalesce", "variance", "nvm", "latency", "attrib",
+		"rivals", "recovery"}
 }

@@ -41,6 +41,7 @@ type memoCfg struct {
 	PTTEntries         int
 	ETTSlots           int
 	EpochSize          int
+	TriadLevels        int
 	CtrCacheKB         int
 	MACCacheKB         int
 	BMTCacheKB         int
@@ -91,6 +92,7 @@ func memoKeyOf(cfg engine.Config, bench string, seed uint64) (MemoKey, bool) {
 			PTTEntries:         n.PTTEntries,
 			ETTSlots:           n.ETTSlots,
 			EpochSize:          n.EpochSize,
+			TriadLevels:        n.TriadLevels,
 			CtrCacheKB:         n.CtrCacheKB,
 			MACCacheKB:         n.MACCacheKB,
 			BMTCacheKB:         n.BMTCacheKB,

@@ -191,6 +191,7 @@ func configMutatorsHarness() map[string]func(engine.Config) engine.Config {
 		"PTTEntries":         func(c engine.Config) engine.Config { c.PTTEntries = 16; return c },
 		"ETTSlots":           func(c engine.Config) engine.Config { c.ETTSlots = 4; return c },
 		"EpochSize":          func(c engine.Config) engine.Config { c.EpochSize = 64; return c },
+		"TriadLevels":        func(c engine.Config) engine.Config { c.TriadLevels = 4; return c },
 		"CtrCacheKB":         func(c engine.Config) engine.Config { c.CtrCacheKB = 64; return c },
 		"MACCacheKB":         func(c engine.Config) engine.Config { c.MACCacheKB = 64; return c },
 		"BMTCacheKB":         func(c engine.Config) engine.Config { c.BMTCacheKB = 64; return c },

@@ -1,0 +1,69 @@
+// The rival-scheme experiments: the expansion pack's two views of the
+// (performance, recoverability, recovery-time) trade-off space. Rivals
+// is a Fig. 8-shaped execution-time sweep over the strict-persistency
+// designs from the surrounding literature; Recovery is the
+// recovery-time table, pure model arithmetic over the scheme registry
+// (no simulation), so it is deterministic and golden-pinnable.
+package harness
+
+import (
+	"fmt"
+
+	"plp/internal/engine"
+	"plp/internal/stats"
+)
+
+// rivalSchemes are the sweep columns of Rivals: the PLP pipeline as
+// the reference point, then the literature's strict-persistency
+// designs in registry order.
+var rivalSchemes = []engine.Scheme{
+	engine.SchemePipeline, engine.SchemeSGXTree,
+	engine.SchemeTriadSel, engine.SchemePhoenix,
+	engine.SchemeShadow, engine.SchemeSuperMemWC,
+}
+
+// Rivals compares the rival strict-persistency schemes against the
+// PLP pipeline, normalized to secure_WB (Fig. 8 shape). Read it next
+// to Recovery: the schemes that match the pipeline's performance pay
+// in write traffic or recovery time.
+func Rivals(o Options) *Experiment {
+	r := newRunner(o)
+	header := make([]string, len(rivalSchemes))
+	for i, s := range rivalSchemes {
+		header[i] = string(s)
+	}
+	return r.normalizedSweep("Rivals",
+		"rival strict-persistency schemes normalized to secure_WB",
+		header,
+		func(col int) engine.Config { return r.cfg(rivalSchemes[col]) },
+		"%.2f")
+}
+
+// Recovery renders the recovery-time table for every registered
+// scheme: the crash-recoverability contract, the recovery discipline,
+// and the modeled post-crash work (NVM reads, MAC recomputations,
+// cycles) for the default geometry with a worst-case in-flight count.
+// The estimates are closed-form model arithmetic — no simulation — so
+// the table is exact and configuration-determined.
+func Recovery(o Options) *Experiment {
+	o.fill()
+	base := engine.Config{FullMemory: o.FullMemory}
+	rows := engine.RecoveryRows(base)
+	tab := stats.NewTable("scheme", "guarantee", "recovery", "nodes", "reads", "cycles")
+	summary := map[string]float64{}
+	for _, row := range rows {
+		cyc := "n/a"
+		if row.Estimate.Finite() {
+			cyc = fmt.Sprintf("%d", row.Estimate.Cycles)
+			summary["cycles "+string(row.Scheme)] = float64(row.Estimate.Cycles)
+		}
+		tab.AddRow(string(row.Scheme), string(row.Guarantee), string(row.Estimate.Kind),
+			fmt.Sprintf("%d", row.Estimate.Nodes), fmt.Sprintf("%d", row.Estimate.Reads), cyc)
+	}
+	return &Experiment{
+		ID:          "Recovery",
+		Description: "modeled post-crash recovery work per scheme (worst case: WPQ full at the crash)",
+		Table:       tab,
+		Summary:     summary,
+	}
+}

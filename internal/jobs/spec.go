@@ -167,7 +167,7 @@ func (s Spec) plannedRuns() int {
 	}
 	schemes := len(s.Schemes)
 	if schemes == 0 {
-		schemes = len(engine.Schemes())
+		schemes = len(engine.CoreSchemes())
 	}
 	return benches * schemes
 }

@@ -1,0 +1,162 @@
+package recovery
+
+import (
+	"fmt"
+
+	"plp/internal/sim"
+)
+
+// Kind names a post-crash recovery discipline — what work a scheme
+// must do between power-on and the first verified access. It is the
+// qualitative half of the recovery-time axis; Estimate is the
+// quantitative half.
+type Kind string
+
+const (
+	// KindRebuildFull rebuilds the whole integrity tree from the
+	// persisted counters: every counter line is read back and every
+	// tree node recomputed. This is the cost of keeping the tree
+	// volatile (secure_WB, sp, pipeline, o3, coalescing, colocated) —
+	// crash consistency of the *tuple* is what their guarantees are
+	// about; the tree itself must be regenerated.
+	KindRebuildFull Kind = "rebuild_full"
+	// KindRebuildTop rebuilds only the tree levels above the persisted
+	// frontier (Triad-NVM selective persistence): the lowest
+	// PersistedLevels levels are durable, so recovery reads the
+	// frontier level and recomputes the volatile top.
+	KindRebuildTop Kind = "rebuild_top"
+	// KindVerifyRoot has a fully persistent tree (sgxtree, phoenix):
+	// recovery reads one leaf-to-root path and checks it against the
+	// on-chip root — constant work, independent of memory size.
+	KindVerifyRoot Kind = "verify_root"
+	// KindShadowReplay replays the shadow region's in-flight metadata
+	// updates (Anubis): work proportional to the number of persists
+	// that were in flight at the crash, not to memory size.
+	KindShadowReplay Kind = "shadow_replay"
+	// KindNone marks schemes with no recovery contract (unordered):
+	// after a crash the metadata cannot be regenerated consistently,
+	// so no finite estimate applies.
+	KindNone Kind = "none"
+)
+
+// Params feeds a recovery estimate: the tree geometry, how much of it
+// the scheme persisted, how many metadata updates were in flight at
+// the crash, and the per-unit costs.
+type Params struct {
+	// Levels is the integrity-tree depth (level 1 = root, Levels =
+	// leaves); Arity is the tree fan-out.
+	Levels int
+	Arity  int
+	// PersistedLevels is how many leaf-side tree levels the scheme
+	// keeps durable in NVM (0 = fully volatile tree, Levels = fully
+	// persistent tree).
+	PersistedLevels int
+	// InFlight is the number of persists whose metadata updates were
+	// in flight at the crash — the shadow-replay work list. Campaign
+	// reports derive it from the crash log; model-driven tables use
+	// the WPQ depth as the worst case.
+	InFlight int
+	// ReadCycles is one NVM metadata-line fetch; MACCycles is one
+	// node-hash recomputation.
+	ReadCycles sim.Cycle
+	MACCycles  sim.Cycle
+}
+
+// Estimate is the recovery-time prediction for one scheme: how many
+// tree nodes must be recomputed, how many NVM lines read, and the
+// serialized cycle count (Reads·ReadCycles + Nodes·MACCycles — a
+// deliberate upper bound that ignores overlap, like the papers'
+// own first-order models).
+type Estimate struct {
+	Kind   Kind      `json:"kind"`
+	Nodes  uint64    `json:"nodes"`
+	Reads  uint64    `json:"reads"`
+	Cycles sim.Cycle `json:"cycles"`
+}
+
+// Finite reports whether the estimate is meaningful (false for
+// KindNone: the scheme has no recovery contract).
+func (e Estimate) Finite() bool { return e.Kind != KindNone }
+
+// String renders the estimate for campaign and table output.
+func (e Estimate) String() string {
+	if !e.Finite() {
+		return string(KindNone)
+	}
+	return fmt.Sprintf("%s %d cycles (%d nodes, %d reads)", e.Kind, e.Cycles, e.Nodes, e.Reads)
+}
+
+// Model is a scheme's recovery discipline; Estimate instantiates it
+// for a concrete geometry and crash state. The arithmetic is pure and
+// deterministic — no simulation — so recovery tables are exactly
+// reproducible.
+type Model struct {
+	Kind Kind
+}
+
+// pow returns base^exp in uint64 (geometries are validated well below
+// overflow: 8^20 < 2^63).
+func pow(base, exp int) uint64 {
+	n := uint64(1)
+	for i := 0; i < exp; i++ {
+		n *= uint64(base)
+	}
+	return n
+}
+
+// nodesThrough counts the tree nodes at levels 1..l (root-side):
+// level k holds Arity^(k-1) nodes.
+func nodesThrough(arity, l int) uint64 {
+	total := uint64(0)
+	for k := 1; k <= l; k++ {
+		total += pow(arity, k-1)
+	}
+	return total
+}
+
+// Estimate computes the recovery work for p under the model's kind.
+func (m Model) Estimate(p Params) Estimate {
+	e := Estimate{Kind: m.Kind}
+	if p.Levels < 1 || p.Arity < 2 {
+		return e
+	}
+	switch m.Kind {
+	case KindRebuildFull:
+		// Read every counter line (one per leaf), recompute the whole
+		// tree bottom-up.
+		e.Reads = pow(p.Arity, p.Levels-1)
+		e.Nodes = nodesThrough(p.Arity, p.Levels)
+	case KindRebuildTop:
+		d := p.PersistedLevels
+		if d <= 0 {
+			return Model{Kind: KindRebuildFull}.Estimate(p)
+		}
+		if d >= p.Levels {
+			return Model{Kind: KindVerifyRoot}.Estimate(p)
+		}
+		// The frontier — the highest persisted level — is read back;
+		// the volatile levels above it are recomputed.
+		volatile := p.Levels - d
+		e.Reads = pow(p.Arity, volatile)
+		e.Nodes = nodesThrough(p.Arity, volatile)
+	case KindVerifyRoot:
+		// One path read + verified against the durable root.
+		e.Reads = uint64(p.Levels)
+		e.Nodes = uint64(p.Levels)
+	case KindShadowReplay:
+		// Each in-flight update: read its shadow entry plus its path,
+		// recompute the path's hashes; then one root-path verify.
+		inflight := uint64(0)
+		if p.InFlight > 0 {
+			inflight = uint64(p.InFlight)
+		}
+		e.Reads = inflight*uint64(p.Levels+1) + uint64(p.Levels)
+		e.Nodes = inflight*uint64(p.Levels) + uint64(p.Levels)
+	case KindNone:
+		return e
+	default:
+		return e
+	}
+	e.Cycles = sim.Cycle(e.Reads)*p.ReadCycles + sim.Cycle(e.Nodes)*p.MACCycles
+	return e
+}

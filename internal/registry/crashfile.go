@@ -38,6 +38,14 @@ type CrashScheme struct {
 	Horizon    uint64 `json:"horizon"`
 	Violations int    `json:"violations"`
 
+	// Recovery-time estimate for the scheme's window (schema-compatible
+	// addition: absent in files written before the recovery axis).
+	MaxInFlight    int    `json:"maxInFlight,omitempty"`
+	RecoveryKind   string `json:"recoveryKind,omitempty"`
+	RecoveryNodes  uint64 `json:"recoveryNodes,omitempty"`
+	RecoveryReads  uint64 `json:"recoveryReads,omitempty"`
+	RecoveryCycles uint64 `json:"recoveryCycles,omitempty"`
+
 	Failures []CrashCase `json:"failures,omitempty"`
 }
 

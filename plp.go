@@ -83,6 +83,25 @@ const (
 	Colocated  = engine.SchemeColocated
 )
 
+// The rival designs from the surrounding literature, implemented on
+// the same machine model for a directly comparable (performance,
+// recoverability, recovery-time) matrix.
+const (
+	// TriadSel is Triad-NVM selective tree persistence: the lowest
+	// SimConfig.TriadLevels BMT levels persist inline with each walk.
+	TriadSel = engine.SchemeTriadSel
+	// Phoenix is the persistently secure counter tree: every node
+	// update written through to NVM, pipelined walks, constant-work
+	// recovery.
+	Phoenix = engine.SchemePhoenix
+	// Shadow is Anubis-style shadow-address tracking of in-flight
+	// metadata updates; recovery replays the shadow region.
+	Shadow = engine.SchemeShadow
+	// SuperMemWC is SuperMem-style write coalescing at the
+	// security-metadata level: same-leaf persist bursts share a walk.
+	SuperMemWC = engine.SchemeSuperMemWC
+)
+
 // Simulate runs one benchmark profile under a scheme configuration.
 // It panics on an invalid configuration (unknown scheme, bad cache
 // geometry).
